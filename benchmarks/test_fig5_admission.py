@@ -1,0 +1,35 @@
+"""Figure 5 — admission probability vs arrival rate, five protocols.
+
+Regenerates the paper's curves (rows printed below) and asserts the
+published shape: all five protocols within a few percent, REALTOR and
+adaptive push on top, monotone decline past the saturation knee at
+lambda = nodes/mean-size = 5.
+
+The timed section is one representative simulation run (REALTOR at the
+knee), so `--benchmark-only` also reports the simulator's end-to-end
+throughput for this workload.
+"""
+
+from repro.experiments.config import paper_config
+from repro.experiments.figures import fig5_admission_probability
+from repro.experiments.runner import run_experiment
+
+from conftest import assert_figure
+
+
+def test_fig5_admission_probability(benchmark, paper_sweep, rates, bench_horizon):
+    result = fig5_admission_probability(
+        rates, horizon=bench_horizon, raw=paper_sweep
+    )
+
+    run = benchmark.pedantic(
+        run_experiment,
+        args=(paper_config("realtor", 5.0, horizon=min(bench_horizon, 500.0)),),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["admission_probability_at_knee"] = run.admission_probability
+    for proto, series in result.series.items():
+        benchmark.extra_info[f"admission[{proto}]@max-rate"] = series[-1]
+
+    assert_figure(result)

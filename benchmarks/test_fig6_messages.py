@@ -1,0 +1,43 @@
+"""Figure 6 — total weighted message count vs arrival rate.
+
+The published shape: pure push flat and dominant (25 nodes x 1 flood/s x
+40 links, load-independent); pure pull growing with load; adaptive pull
+cheapest under overload (Upper_limit suppression); REALTOR moderate —
+far below pure push, between the two pulls.
+
+The timed section is the most message-intensive run (Push-1), making
+this the transport-layer throughput benchmark.
+"""
+
+from repro.experiments.config import paper_config
+from repro.experiments.figures import fig6_message_overhead
+from repro.experiments.runner import run_experiment
+
+from conftest import assert_figure
+
+
+def test_fig6_message_overhead(benchmark, paper_sweep, rates, bench_horizon):
+    result = fig6_message_overhead(rates, horizon=bench_horizon, raw=paper_sweep)
+
+    run = benchmark.pedantic(
+        run_experiment,
+        args=(paper_config("push-1", 5.0, horizon=min(bench_horizon, 500.0)),),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["push1_messages_per_sim_second"] = (
+        run.messages_total / run.horizon
+    )
+    hi = result.xs[-1]
+    for proto in result.series:
+        benchmark.extra_info[f"messages[{proto}]@lambda={hi:g}"] = (
+            result.series[proto][-1]
+        )
+
+    # paper-scale cross-check: Push-1's total is exactly
+    # nodes x horizon/interval x links (the deterministic flood schedule)
+    push1_expected = 25 * bench_horizon * 40
+    measured = result.series["push-1"][-1]
+    assert abs(measured - push1_expected) / push1_expected < 0.05
+
+    assert_figure(result)

@@ -1,0 +1,35 @@
+"""Figure 8 — migration rate per admitted task.
+
+The published shape: migration climbs with overload; REALTOR peaks then
+declines as Upper_limit suppresses HELPs; the pull-based protocols
+migrate least under deep overload because their information is
+"out-of-dated rather easily" (collected before the migration need).
+"""
+
+from repro.experiments.config import paper_config
+from repro.experiments.figures import fig8_migration_rate
+from repro.experiments.runner import run_experiment
+
+from conftest import assert_figure
+
+
+def test_fig8_migration_rate(benchmark, paper_sweep, rates, bench_horizon):
+    result = fig8_migration_rate(rates, horizon=bench_horizon, raw=paper_sweep)
+
+    run = benchmark.pedantic(
+        run_experiment,
+        args=(paper_config("realtor", 8.0, horizon=min(bench_horizon, 500.0)),),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["realtor_migration_rate@lambda=8"] = run.migration_rate
+    for proto in result.series:
+        benchmark.extra_info[f"migration[{proto}]@max-rate"] = (
+            result.series[proto][-1]
+        )
+
+    # the timeliness story in numbers: adaptive pull's stale views migrate
+    # least under deep overload
+    assert result.series["pull-100"][-1] <= result.series["realtor"][-1] + 0.01
+
+    assert_figure(result)

@@ -1,0 +1,78 @@
+"""A3 — the scalability claim: "an overhead that is system-size
+independent".
+
+At constant offered load we grow the mesh from 9 to 100 nodes and track
+the per-node, per-second weighted message cost.  REALTOR's discovery
+activity is driven by local load, so its per-node cost should stay
+within a small factor while pure push's grows with the link count.
+"""
+
+from repro.experiments.ablations import ablate_scalability
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+from conftest import BENCH_HORIZON
+
+HORIZON = min(BENCH_HORIZON, 1_500.0)
+SIZES = ((3, 3), (5, 5), (7, 7), (10, 10))
+
+
+def per_node_cost(result, nodes: int) -> float:
+    return result.messages_total / (nodes * result.horizon)
+
+
+def per_node_delivered(result, nodes: int) -> float:
+    return result.extra["delivered_messages"] / (nodes * result.horizon)
+
+
+def test_a3_realtor_overhead_size_independent(benchmark):
+    result = benchmark.pedantic(
+        ablate_scalability,
+        kwargs=dict(sizes=SIZES, load=1.2, horizon=HORIZON, protocol="realtor"),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.summary())
+
+    # The claim is about the protocol's *actual* per-node traffic: every
+    # interaction is confined to the node's neighbourhood, so delivered
+    # messages per node per second stay within a small factor from 9 to
+    # 100 nodes.  (The paper's flood=#links *accounting proxy* grows with
+    # size by construction — see EXPERIMENTS.md.)
+    delivered = [per_node_delivered(result.raw[r * c], r * c) for r, c in SIZES]
+    benchmark.extra_info["delivered_per_node_by_size"] = dict(
+        zip([r * c for r, c in SIZES], delivered)
+    )
+    assert max(delivered) / max(min(delivered), 1e-9) < 3.0
+
+    # effectiveness holds across sizes at equal load
+    probs = [result.raw[r * c].admission_probability for r, c in SIZES]
+    assert max(probs) - min(probs) < 0.1
+
+
+def test_a3_pure_push_grows_with_size(benchmark):
+    """The control: flood-everything scales its per-node cost with links."""
+
+    def run_two_sizes():
+        out = {}
+        for rows, cols in ((3, 3), (10, 10)):
+            n = rows * cols
+            cfg = ExperimentConfig(
+                protocol="push-1",
+                arrival_rate=1.2 * n / 5.0,
+                rows=rows,
+                cols=cols,
+                horizon=min(HORIZON, 500.0),
+                unicast_cost="hops",
+            )
+            out[n] = run_experiment(cfg)
+        return out
+
+    out = benchmark.pedantic(run_two_sizes, rounds=1, iterations=1)
+    small = per_node_cost(out[9], 9)
+    large = per_node_cost(out[100], 100)
+    benchmark.extra_info["push1_per_node_cost_9"] = small
+    benchmark.extra_info["push1_per_node_cost_100"] = large
+    # 9-node mesh: 12 links; 100-node mesh: 180 links => ~15x per-node cost
+    assert large / small > 5.0

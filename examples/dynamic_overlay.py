@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Dynamic overlay: nodes joining and leaving a running system.
+
+"Nodes leave and join the system at any time, due to attacks and
+failures, or after recovery" — this walk-through exercises exactly that:
+
+1. a loaded 5x5 mesh runs REALTOR;
+2. five fresh hosts join mid-run, each attached to two random live
+   nodes, starting with *empty* views — everything they learn arrives
+   through the protocol;
+3. three nodes leave gracefully (evacuating their queued components);
+4. we verify task conservation and show how quickly newcomers were put
+   to work.
+
+Run:  python examples/dynamic_overlay.py
+"""
+
+from repro import ExperimentConfig, build_system
+
+
+def main() -> None:
+    cfg = ExperimentConfig(
+        protocol="realtor",
+        arrival_rate=7.0,          # offered load 1.4: newcomers matter
+        horizon=1_500.0,
+        seed=13,
+        trace=True,
+    )
+    system = build_system(cfg)
+    rng = system.sim.streams.stream("churn-demo")
+
+    joined = []
+
+    def join(node_id: int) -> None:
+        live = system.faults.up_nodes()
+        picks = rng.choice(len(live), size=2, replace=False)
+        system.add_node(node_id, [live[int(i)] for i in picks])
+        joined.append(node_id)
+
+    for i, t in enumerate((300.0, 400.0, 500.0, 600.0, 700.0)):
+        system.sim.at(t, join, 25 + i)
+    for node, t in ((3, 800.0), (17, 900.0), (21, 1000.0)):
+        system.sim.at(t, system.remove_node, node)
+
+    system.run()
+    res = system.result()
+    system.metrics.tasks.check_conservation()
+
+    print(f"generated {res.generated} tasks over {res.horizon:g}s "
+          f"(admission probability {res.admission_probability:.4f})")
+    print(f"tasks lost to departures: {res.lost}; "
+          f"evacuations: {res.evacuations}")
+    print()
+    print("newcomer integration (all started with empty views):")
+    for nid in joined:
+        host = system.hosts[nid]
+        agent = system.agents[nid]
+        print(
+            f"  node {nid}: served {host.queue.admitted_count:4d} tasks, "
+            f"view holds {len(agent.view):2d} peers, "
+            f"member of {agent.memberships.count():2d} communities"
+        )
+
+    joins = system.sim.trace.count("join")
+    leaves = system.sim.trace.count("leave")
+    print(f"\ntrace recorded {joins} joins and {leaves} leaves; "
+          "soft state needed no global coordination for either.")
+
+
+if __name__ == "__main__":
+    main()

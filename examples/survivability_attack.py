@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Survivability under attack — the paper's motivating scenario.
+
+An attacker sweeps across the mesh, compromising one node at a time.
+Each compromised node must evacuate its queued components to hosts its
+REALTOR community discovered *before* the attack (pro-active discovery:
+no signalling on the critical path).  We print a timeline of the attack
+and the final survivability accounting, and compare REALTOR against the
+stalest baseline (adaptive pull).
+
+Run:  python examples/survivability_attack.py
+"""
+
+from repro import paper_config
+from repro.experiments.runner import build_system
+from repro.workload.attack import SweepAttack
+
+
+def run_under_attack(protocol: str, victims: int = 6, seed: int = 11):
+    cfg = paper_config(protocol, arrival_rate=4.0, horizon=2_000.0, seed=seed)
+    system = build_system(cfg)
+    attack = SweepAttack(
+        system.topo.nodes(),
+        start=500.0,
+        dwell=150.0,
+        victims=victims,
+        rng=system.sim.streams.stream("attack"),
+    )
+    plan = attack.plan()
+    plan.install(system.faults)
+    system.run()
+    return system, plan
+
+
+def main() -> None:
+    for protocol in ("realtor", "pull-100"):
+        system, plan = run_under_attack(protocol)
+        res = system.result()
+        evac_ok = res.evacuations - res.evacuation_failures
+        print(f"--- {protocol} ---")
+        print(f"attack plan: {len(plan)} transitions over nodes {plan.nodes_touched}")
+        print(f"admission probability : {res.admission_probability:.4f}")
+        print(f"evacuations attempted : {res.evacuations}")
+        if res.evacuations:
+            print(f"evacuation success    : {evac_ok / res.evacuations:.2%}")
+        print(f"tasks lost            : {res.lost}")
+        print(f"mean downtime fraction: "
+              f"{system.faults.downtime_fraction(system.sim.now):.4f}")
+        print()
+
+    print(
+        "REALTOR's pre-established communities let compromised nodes move\n"
+        "their components immediately; the pull baseline's stale views lose\n"
+        "more of them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy entry point so `pip install -e . --no-use-pep517` works in
+offline environments that lack the `wheel` package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — a reproduction of REALTOR (Choi, Rho, Bettati; IPPS 2003).
+
+*Dynamic Resource Discovery for Applications Survivability in
+Distributed Real-Time Systems* proposes REALTOR, a resource-discovery
+protocol combining adaptive pull (HELP solicitations with a
+reward/penalty interval, Algorithm H) and adaptive push (threshold-
+crossing PLEDGE reports, Algorithm P) over soft-state communities, to
+support proactive component migration under attack and overload.
+
+This package contains the full system: a discrete-event kernel
+(:mod:`repro.sim`), the overlay network substrate (:mod:`repro.network`),
+the node model (:mod:`repro.node`), REALTOR and its four baselines
+(:mod:`repro.core`, :mod:`repro.protocols`), admission/migration
+(:mod:`repro.migration`), workload and attack generators
+(:mod:`repro.workload`), the Agile Objects cluster emulation
+(:mod:`repro.cluster`), and the experiment harness regenerating every
+figure of the paper (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import paper_config, run_experiment
+>>> result = run_experiment(paper_config("realtor", arrival_rate=6.0,
+...                                      horizon=500.0))
+>>> 0.9 < result.admission_probability <= 1.0
+True
+"""
+
+from .experiments.config import ExperimentConfig, paper_config
+from .experiments.runner import System, build_system, run_experiment
+from .metrics.collector import RunResult
+from .protocols.base import ProtocolConfig
+from .protocols.registry import PAPER_PROTOCOLS, make_agent, protocol_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "paper_config",
+    "System",
+    "build_system",
+    "run_experiment",
+    "RunResult",
+    "ProtocolConfig",
+    "PAPER_PROTOCOLS",
+    "make_agent",
+    "protocol_names",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Result analysis: curve utilities and paper-vs-measured comparisons."""
+
+from .compare import Comparison, Expectation, evaluate_all, standard_expectations
+from .curves import auc, crossover, is_monotone, knee, normalize, peak, relative_spread
+
+__all__ = [
+    "Comparison",
+    "Expectation",
+    "evaluate_all",
+    "standard_expectations",
+    "auc",
+    "crossover",
+    "is_monotone",
+    "knee",
+    "normalize",
+    "peak",
+    "relative_spread",
+]

@@ -1,0 +1,93 @@
+"""Terminal line charts.
+
+The figures are curves; tables alone make shape comparisons hard to
+see.  :func:`render` draws multiple named series on one character
+canvas — no plotting dependency, works over ssh, diffs cleanly in CI
+logs.  Used by ``python -m repro.experiments --chart`` and the examples.
+
+Marker assignment is stable (first series ``*``, then ``o``, ``x``,
+``+``, ``#``, ``@``); overlapping points show the later series' marker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render"]
+
+MARKERS = "*ox+#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    """Map ``value`` in [lo, hi] onto a cell index in [0, cells-1]."""
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(frac * (cells - 1)))))
+
+
+def render(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    y_label: str = "",
+    x_label: str = "x",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Draw ``series`` (name -> y values over shared ``xs``) as text.
+
+    Returns the chart as a single string (axes, legend, title included).
+    """
+    if not xs:
+        raise ValueError("no x values")
+    if not series:
+        raise ValueError("no series")
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length != len(xs)")
+
+    all_values = [y for ys in series.values() for y in ys]
+    lo = y_min if y_min is not None else min(all_values)
+    hi = y_max if y_max is not None else max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+
+    canvas: List[List[str]] = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = min(xs), max(xs)
+
+    for (name, ys), marker in zip(series.items(), MARKERS):
+        for x, y in zip(xs, ys):
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(min(max(y, lo), hi), lo, hi, height)
+            canvas[row][col] = marker
+
+    # y-axis labels on the left
+    label_width = max(len(f"{hi:.3g}"), len(f"{lo:.3g}")) + 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = f"{hi:.3g}".rjust(label_width)
+        elif i == height - 1:
+            label = f"{lo:.3g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    # x axis
+    axis = f"{x_lo:.3g}".ljust(width // 2) + f"{x_hi:.3g}".rjust(width - width // 2)
+    lines.append(" " * label_width + " +" + "-" * width + "+")
+    lines.append(" " * (label_width + 2) + axis + f"  ({x_label})")
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), MARKERS)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    if y_label:
+        lines.append(" " * (label_width + 2) + f"y: {y_label}")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Paper-vs-measured comparison records.
+
+EXPERIMENTS.md is generated from these: each figure contributes a set of
+:class:`Expectation` records ("who wins", "factor", "peak location")
+evaluated against measured series, and the report renderer prints the
+verdicts next to the paper's claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from .curves import is_monotone, peak, relative_spread
+
+__all__ = ["Expectation", "Comparison", "standard_expectations"]
+
+
+@dataclass
+class Expectation:
+    """One claim from the paper, as an executable predicate on series."""
+
+    figure: str
+    claim: str
+    check: Callable[[Dict[str, Sequence[float]], Sequence[float]], bool]
+
+    def evaluate(
+        self, series: Dict[str, Sequence[float]], xs: Sequence[float]
+    ) -> "Comparison":
+        try:
+            ok = bool(self.check(series, xs))
+            detail = ""
+        except Exception as exc:  # a missing protocol shouldn't crash a report
+            ok = False
+            detail = f"error: {exc}"
+        return Comparison(self.figure, self.claim, ok, detail)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    figure: str
+    claim: str
+    matched: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "MATCH" if self.matched else "DIVERGES"
+        out = f"{self.figure}: [{mark}] {self.claim}"
+        if self.detail:
+            out += f" ({self.detail})"
+        return out
+
+
+def standard_expectations() -> List[Expectation]:
+    """The paper's cross-figure claims, as reusable expectations."""
+    return [
+        Expectation(
+            "Fig5",
+            "all protocols within a few percent of each other",
+            lambda s, xs: max(
+                max(v[i] for v in s.values()) - min(v[i] for v in s.values())
+                for i in range(len(xs))
+            )
+            < 0.05,
+        ),
+        Expectation(
+            "Fig6",
+            "pure push overhead is flat across load",
+            lambda s, xs: relative_spread(s["push-1"]) < 0.05,
+        ),
+        Expectation(
+            "Fig6",
+            "pure pull eventually approaches pure push (linear growth)",
+            lambda s, xs: is_monotone(s["pull-.9"], increasing=True, tolerance=1e3),
+        ),
+        Expectation(
+            "Fig7",
+            "REALTOR cost-per-task peaks at moderate overload",
+            lambda s, xs: 5.0 <= peak(xs, s["realtor"])[0] <= 8.0,
+        ),
+        Expectation(
+            "Fig8",
+            "pull-based approaches migrate least under deep overload",
+            lambda s, xs: s["pull-100"][-1] <= min(s["push-1"][-1], s["realtor"][-1]),
+        ),
+    ]
+
+
+def evaluate_all(
+    expectations: Sequence[Expectation],
+    series_by_figure: Dict[str, Dict[str, Sequence[float]]],
+    xs_by_figure: Dict[str, Sequence[float]],
+) -> List[Comparison]:
+    """Evaluate each expectation against its figure's series."""
+    out: List[Comparison] = []
+    for exp in expectations:
+        series = series_by_figure.get(exp.figure)
+        xs = xs_by_figure.get(exp.figure)
+        if series is None or xs is None:
+            out.append(Comparison(exp.figure, exp.claim, False, "figure not run"))
+            continue
+        out.append(exp.evaluate(series, xs))
+    return out

@@ -1,0 +1,111 @@
+"""Curve utilities for result series.
+
+Small, vectorised helpers used by the figure shape checks, the
+benchmarks and EXPERIMENTS.md generation: peak/knee detection, crossover
+location, monotonicity tests with tolerance, and normalisation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "peak",
+    "knee",
+    "crossover",
+    "is_monotone",
+    "relative_spread",
+    "normalize",
+    "auc",
+]
+
+
+def _as_arrays(xs: Sequence[float], ys: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.size == 0:
+        raise ValueError("xs and ys must be equal-length, non-empty")
+    return x, y
+
+
+def peak(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """(x, y) of the maximum (first occurrence)."""
+    x, y = _as_arrays(xs, ys)
+    i = int(np.argmax(y))
+    return float(x[i]), float(y[i])
+
+
+def knee(
+    xs: Sequence[float], ys: Sequence[float], drop: float = 0.02
+) -> Optional[float]:
+    """First x where the curve has fallen ``drop`` below its running max.
+
+    Admission-probability curves are ~1.0 until saturation; the knee is
+    where degradation visibly starts.
+    """
+    x, y = _as_arrays(xs, ys)
+    running = np.maximum.accumulate(y)
+    below = np.nonzero(running - y >= drop)[0]
+    return float(x[below[0]]) if below.size else None
+
+
+def crossover(
+    xs: Sequence[float], ys_a: Sequence[float], ys_b: Sequence[float]
+) -> Optional[float]:
+    """Linear-interpolated x where curve A first crosses curve B.
+
+    Returns None when the sign of (A - B) never changes.
+    """
+    x, a = _as_arrays(xs, ys_a)
+    _, b = _as_arrays(xs, ys_b)
+    diff = a - b
+    sign = np.sign(diff)
+    sign[sign == 0] = 1
+    changes = np.nonzero(np.diff(sign))[0]
+    if changes.size == 0:
+        return None
+    i = int(changes[0])
+    d0, d1 = diff[i], diff[i + 1]
+    if d1 == d0:
+        return float(x[i])
+    frac = -d0 / (d1 - d0)
+    return float(x[i] + frac * (x[i + 1] - x[i]))
+
+
+def is_monotone(
+    ys: Sequence[float], *, increasing: bool = True, tolerance: float = 0.0
+) -> bool:
+    """Monotonicity with an absolute tolerance for simulation noise."""
+    y = np.asarray(ys, dtype=float)
+    d = np.diff(y)
+    return bool(np.all(d >= -tolerance)) if increasing else bool(np.all(d <= tolerance))
+
+
+def relative_spread(ys: Sequence[float]) -> float:
+    """(max - min) / max — the Fig 6 'flatness' measure (0 for constant)."""
+    y = np.asarray(ys, dtype=float)
+    top = float(np.max(np.abs(y)))
+    if top == 0.0:
+        return 0.0
+    return float((y.max() - y.min()) / top)
+
+
+def normalize(ys: Sequence[float], reference: Sequence[float]) -> np.ndarray:
+    """Element-wise ratio ys/reference (0 where the reference is 0)."""
+    y = np.asarray(ys, dtype=float)
+    ref = np.asarray(reference, dtype=float)
+    if y.shape != ref.shape:
+        raise ValueError("shape mismatch")
+    out = np.zeros_like(y)
+    nz = ref != 0
+    out[nz] = y[nz] / ref[nz]
+    return out
+
+
+def auc(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Trapezoidal area under the curve (scalar curve comparison)."""
+    x, y = _as_arrays(xs, ys)
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy<2 compat
+    return float(trapezoid(y, x))

@@ -1,0 +1,20 @@
+"""Agile Objects cluster emulation (Section 6's 20-host testbed)."""
+
+from .component import AgileComponent
+from .naming import Binding, NamingService
+from .rmi import LanCostModel, LanParameters, RmiLayer
+from .scheduler import ClusterJobScheduler
+from .testbed import ClusterTestbed, TestbedParameters, run_testbed
+
+__all__ = [
+    "AgileComponent",
+    "Binding",
+    "NamingService",
+    "LanCostModel",
+    "LanParameters",
+    "RmiLayer",
+    "ClusterJobScheduler",
+    "ClusterTestbed",
+    "TestbedParameters",
+    "run_testbed",
+]

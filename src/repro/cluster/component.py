@@ -1,0 +1,67 @@
+"""Migratable Agile Object components.
+
+Section 6: "we implement each task as a timer waiting to expire.  This
+considerably simplifies migration, as the only state of the task is the
+current value of un-expired time."  A component therefore carries:
+
+* a *work timer* (remaining CPU seconds — the queue entry),
+* a *state size* (bytes of serialised state — migration transfer time),
+* a *utilization share* for the Constant Utilization Server ledger.
+
+Components are the unit moved by the migration subsystem; the underlying
+:class:`~repro.node.task.Task` carries the queueing behaviour so the
+cluster reuses all of the node substrate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..node.task import Task
+
+__all__ = ["AgileComponent"]
+
+_component_ids = itertools.count()
+
+
+@dataclass
+class AgileComponent:
+    """One migratable object in the Agile Objects runtime."""
+
+    task: Task
+    state_bytes: int = 1024
+    utilization: float = 0.0   # CUS share; 0 = pure batch timer task
+    component_id: int = field(default_factory=lambda: next(_component_ids))
+    migrations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.state_bytes < 0:
+            raise ValueError("state_bytes cannot be negative")
+        if not 0.0 <= self.utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+
+    @property
+    def name(self) -> str:
+        """Naming-service key."""
+        return f"component-{self.component_id}"
+
+    def remaining_time(self, now: float, completion: Optional[float]) -> float:
+        """Un-expired timer value — the only state that migrates."""
+        if completion is None:
+            return self.task.size
+        return max(0.0, completion - now)
+
+    def transfer_time(self, bandwidth_bytes_per_s: float) -> float:
+        """Seconds to ship the serialised state at ``bandwidth``.
+
+        "In real situations, the migration time will be longer ...
+        depending on the actual size of the software component."
+        """
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        return self.state_bytes / bandwidth_bytes_per_s
+
+    def note_migration(self) -> None:
+        self.migrations += 1

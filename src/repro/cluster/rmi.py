@@ -1,0 +1,82 @@
+"""LAN messaging model for the cluster testbed.
+
+Section 6: "REALTOR uses IP multicasting for HELP messages and UDP for
+PLEDGE messages.  Admission Control uses TCP connections for admission
+negotiation."  On a switched LAN:
+
+* an IP-multicast HELP is **one** wire message regardless of group size,
+* a UDP PLEDGE is one message,
+* a TCP negotiation costs a handshake + request + reply (we charge a
+  configurable per-exchange message count, default 3),
+* Java RMI adds fixed per-call latency (serialisation + dispatch).
+
+:class:`LanCostModel` produces the transport configuration implementing
+this accounting; :class:`RmiLayer` provides invocation timing used by
+the migration subsystem (state transfer time = RMI overhead + bytes /
+bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.transport import CostModel, UnicastCostMode
+
+__all__ = ["LanParameters", "LanCostModel", "RmiLayer"]
+
+
+@dataclass(frozen=True)
+class LanParameters:
+    """Timing/cost constants of the testbed LAN (100 Mb/s switched
+    Ethernet, Pentium II 450 MHz hosts, JVM serialisation overheads)."""
+
+    #: one-way LAN latency, seconds
+    latency: float = 0.0002
+    #: RMI call overhead (serialisation + dispatch), seconds
+    rmi_overhead: float = 0.002
+    #: usable bandwidth for state transfer, bytes/second
+    bandwidth: float = 10e6
+    #: wire messages charged per TCP admission negotiation
+    tcp_exchange_messages: float = 3.0
+
+    def __post_init__(self) -> None:
+        if min(self.latency, self.rmi_overhead) < 0 or self.bandwidth <= 0:
+            raise ValueError("invalid LAN parameters")
+
+
+def LanCostModel() -> CostModel:
+    """Transport cost model for the LAN: multicast flood = 1 message,
+    unicast = 1 message (single switched hop)."""
+    return CostModel(
+        unicast_mode=UnicastCostMode.FIXED,
+        fixed_unicast_cost=1.0,
+        flood_cost_override=1.0,
+    )
+
+
+class RmiLayer:
+    """Latency model for RMI calls and component state transfer."""
+
+    def __init__(self, params: LanParameters) -> None:
+        self.params = params
+        self.calls = 0
+        self.bytes_moved = 0
+
+    def call_latency(self) -> float:
+        """One RMI round trip: two LAN traversals + marshalling."""
+        self.calls += 1
+        return 2 * self.params.latency + self.params.rmi_overhead
+
+    def transfer_latency(self, state_bytes: int) -> float:
+        """Moving a component's serialised state to the destination JVM."""
+        if state_bytes < 0:
+            raise ValueError("state_bytes cannot be negative")
+        self.bytes_moved += state_bytes
+        return (
+            self.call_latency()
+            + state_bytes / self.params.bandwidth
+        )
+
+    def negotiation_messages(self) -> float:
+        """Wire messages to charge for one admission negotiation."""
+        return self.params.tcp_exchange_messages

@@ -1,0 +1,129 @@
+"""Cluster job scheduler.
+
+Section 6: "Job Scheduler provides a simple form of real-time task
+scheduler with static priority and EDF (Earliest Deadline First) in the
+same priority."  This wraps the node substrate's
+:class:`~repro.node.scheduler.EdfScheduler` with component registration
+(Section 3's "Migration Module B registers the object with Job
+Scheduler B") and the Constant Utilization Server ledger that makes
+admission a utilization test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..node.scheduler import ConstantUtilizationServer, EdfScheduler, Job
+from ..sim.kernel import Simulator
+from .component import AgileComponent
+
+__all__ = ["ClusterJobScheduler"]
+
+
+class ClusterJobScheduler:
+    """Per-host scheduler: CUS admission ledger + static-priority EDF CPU."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host_id: int,
+        *,
+        utilization_bound: float = 1.0,
+        on_job_complete: Optional[Callable[[Job], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.host_id = host_id
+        self.cus = ConstantUtilizationServer(utilization_bound)
+        self.edf = EdfScheduler(sim, on_complete=self._job_done)
+        self._on_job_complete = on_job_complete
+        self._jobs: Dict[int, Job] = {}          # component_id -> running job
+        self._components: Dict[int, AgileComponent] = {}
+        self.registered_total = 0
+        self.deregistered_total = 0
+
+    # Registration (the migration subsystem calls these) -------------------
+
+    def register(
+        self,
+        component: AgileComponent,
+        *,
+        remaining: Optional[float] = None,
+        priority: int = 0,
+    ) -> Job:
+        """Admit a component: CUS reservation plus an EDF job for its
+        remaining timer work."""
+        if component.component_id in self._components:
+            raise ValueError(f"component already registered: {component.name}")
+        if component.utilization > 0:
+            self.cus.admit(component.name, component.utilization)
+        work = remaining if remaining is not None else component.task.size
+        deadline = component.task.absolute_deadline
+        # Components handed straight to the scheduler (outside the
+        # coordinator pipeline) are admitted here.
+        from ..node.task import TaskOutcome, TaskStatus
+
+        if component.task.status is TaskStatus.CREATED:
+            component.task.mark_admitted(self.host_id, self.sim.now, TaskOutcome.LOCAL)
+        job = Job(
+            exec_time=max(work, 1e-9),
+            release_time=self.sim.now,
+            absolute_deadline=deadline,
+            priority=priority,
+            label=component.name,
+        )
+        self._components[component.component_id] = component
+        self._jobs[component.component_id] = job
+        self.edf.submit(job)
+        self.registered_total += 1
+        return job
+
+    def deregister(self, component: AgileComponent) -> float:
+        """Withdraw a component (it is migrating away).
+
+        Returns the un-expired timer value — the state that moves.
+        """
+        if component.component_id not in self._components:
+            raise KeyError(f"component not registered: {component.name}")
+        del self._components[component.component_id]
+        job = self._jobs.pop(component.component_id)
+        if component.utilization > 0 and component.name in self.cus:
+            self.cus.release(component.name)
+        # Best-effort withdrawal: EDF has no public cancel; model the
+        # remaining time from the job's bookkeeping.
+        remaining = job.remaining if job.completed_time is None else 0.0
+        self.deregistered_total += 1
+        return remaining
+
+    def _job_done(self, job: Job) -> None:
+        # Completion releases the CUS share and drops the registration.
+        done = [
+            cid
+            for cid, j in self._jobs.items()
+            if j is job
+        ]
+        for cid in done:
+            comp = self._components.pop(cid, None)
+            del self._jobs[cid]
+            if comp is not None and comp.utilization > 0 and comp.name in self.cus:
+                self.cus.release(comp.name)
+            if comp is not None:
+                comp.task.mark_completed(self.sim.now)
+        if self._on_job_complete is not None:
+            self._on_job_complete(job)
+
+    # Queries --------------------------------------------------------------
+
+    def can_admit(self, component: AgileComponent) -> bool:
+        """The light-weight admission test of Section 3."""
+        if component.utilization > 0:
+            return self.cus.can_admit(component.utilization)
+        return True
+
+    def resident_components(self) -> List[AgileComponent]:
+        return sorted(self._components.values(), key=lambda c: c.component_id)
+
+    def backlog(self) -> float:
+        return self.edf.backlog()
+
+    def miss_ratio(self) -> float:
+        return self.edf.miss_ratio()

@@ -1,0 +1,136 @@
+"""The 20-host Agile Objects testbed emulation (Figure 9).
+
+Section 6 measures REALTOR inside the Agile Objects runtime on a 20-host
+Linux cluster: queue capacity 50 s, the same workload as the simulation,
+HELP over IP multicast, PLEDGE over UDP, admission over TCP, each task
+"a timer waiting to expire".
+
+The paper used real Pentium-II machines; we substitute a discrete-event
+emulation of the same software stack (DESIGN.md, substitutions table):
+a full-mesh LAN overlay with multicast cost 1, RMI call latencies, a
+naming service updated on every migration, and component objects whose
+only migrating state is the un-expired timer.  Figure 9 reports only
+admission probability vs arrival rate, which this emulation reproduces
+by exercising the identical REALTOR code path used in the Section 5
+simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..experiments.config import ExperimentConfig
+from ..experiments.runner import System, build_system
+from ..metrics.collector import RunResult
+from ..node.task import Task
+from ..protocols.base import ProtocolConfig
+from .component import AgileComponent
+from .naming import NamingService
+from .rmi import LanParameters, RmiLayer
+
+__all__ = ["TestbedParameters", "ClusterTestbed", "run_testbed"]
+
+
+@dataclass(frozen=True)
+class TestbedParameters:
+    """Knobs of the Section 6 measurement."""
+
+    __test__ = False  # not a pytest class, despite the Test* name
+
+    hosts: int = 20
+    queue_capacity: float = 50.0
+    task_mean: float = 5.0
+    horizon: float = 5_000.0
+    protocol: str = "realtor"
+    seed: int = 1
+    lan: LanParameters = LanParameters()
+    #: serialised state size per component (bytes)
+    component_state_bytes: int = 4096
+
+    def grid(self) -> tuple:
+        """(rows, cols) whose product is ``hosts`` for the config layer."""
+        for rows in range(int(self.hosts**0.5), 0, -1):
+            if self.hosts % rows == 0:
+                return rows, self.hosts // rows
+        return 1, self.hosts
+
+
+class ClusterTestbed:
+    """One testbed instance for one arrival rate."""
+
+    def __init__(self, params: TestbedParameters, arrival_rate: float) -> None:
+        self.params = params
+        rows, cols = params.grid()
+        # On the LAN every host hears every multicast: full-mesh overlay,
+        # network scope, flood (multicast) costs one wire message, UDP/TCP
+        # unicasts cost one.
+        cfg = ExperimentConfig(
+            protocol=params.protocol,
+            protocol_config=ProtocolConfig(scope="network"),
+            arrival_rate=arrival_rate,
+            task_mean=params.task_mean,
+            queue_capacity=params.queue_capacity,
+            topology="full",
+            rows=rows,
+            cols=cols,
+            unicast_cost="fixed",
+            fixed_unicast_cost=1.0,
+            flood_cost_override=1.0,
+            per_hop_latency=params.lan.latency,
+            horizon=params.horizon,
+            seed=params.seed,
+        )
+        self.system: System = build_system(cfg)
+        self.naming = NamingService(
+            self.system.sim, propagation_delay=params.lan.rmi_overhead
+        )
+        self.rmi = RmiLayer(params.lan)
+        self.components: Dict[int, AgileComponent] = {}
+        self.migration_time_total = 0.0
+        self.system.metrics.admission_observers.append(self._on_admitted)
+
+    # Component lifecycle -------------------------------------------------------
+
+    def _on_admitted(self, task: Task) -> None:
+        """Admission hook: create/relocate the Agile Object for ``task``."""
+        from ..node.task import TaskOutcome
+
+        comp = self.components.get(task.task_id)
+        if comp is None:
+            comp = AgileComponent(
+                task=task, state_bytes=self.params.component_state_bytes
+            )
+            self.components[task.task_id] = comp
+        assert task.admitted_at is not None
+        if task.outcome in (TaskOutcome.MIGRATED, TaskOutcome.EVACUATED):
+            # The component instantiates at its origin and ships to the
+            # destination JVM: an RMI state transfer per move.
+            comp.note_migration()
+            self.migration_time_total += self.rmi.transfer_latency(comp.state_bytes)
+        self.naming.register(comp.name, task.admitted_at)
+
+    # Execution ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        self.system.run()
+        result = self.system.result()
+        result.extra["naming_updates"] = float(self.naming.updates)
+        result.extra["naming_staleness"] = self.naming.staleness_rate
+        result.extra["migration_time_total"] = self.migration_time_total
+        result.extra["rmi_calls"] = float(self.rmi.calls)
+        return result
+
+
+def run_testbed(
+    arrival_rate: float,
+    params: Optional[TestbedParameters] = None,
+    **overrides: object,
+) -> RunResult:
+    """Convenience wrapper: one Figure 9 point."""
+    base = params or TestbedParameters()
+    if overrides:
+        from dataclasses import replace
+
+        base = replace(base, **overrides)  # type: ignore[arg-type]
+    return ClusterTestbed(base, arrival_rate).run()

@@ -1,0 +1,29 @@
+"""The paper's core contribution: the REALTOR community protocol."""
+
+from .algorithm_h import HelpScheduler
+from .algorithm_p import PledgePolicy
+from .community import Community, MemberRecord, MembershipTable
+from .messages import (
+    KIND_ADV,
+    KIND_HELP,
+    KIND_PLEDGE,
+    Advertisement,
+    Help,
+    Pledge,
+)
+from .realtor import RealtorAgent
+
+__all__ = [
+    "HelpScheduler",
+    "PledgePolicy",
+    "Community",
+    "MemberRecord",
+    "MembershipTable",
+    "KIND_ADV",
+    "KIND_HELP",
+    "KIND_PLEDGE",
+    "Advertisement",
+    "Help",
+    "Pledge",
+    "RealtorAgent",
+]

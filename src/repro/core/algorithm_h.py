@@ -1,0 +1,188 @@
+"""Algorithm H — adaptive HELP scheduling (Figure 2 of the paper).
+
+Pseudocode from the paper::
+
+    Whenever a task arrives do {
+      If resource usage would exceed a threshold level {
+        If ((T_current - T_sent) > HELP_interval) {
+          send HELP; set_timer;
+    Timeout do {
+      If ((HELP_interval + HELP_interval * alpha) < Upper_limit)
+        HELP_interval += HELP_interval * alpha;
+    Whenever a PLEDGE message arrives do {
+      If the corresponding timer is not expired reset_timer;
+      Update corresponding PLEDGE list;
+      If a node is found for migration {
+        If ((HELP_interval - HELP_interval * beta) > 0)
+          HELP_interval -= HELP_interval * beta;
+
+The interval shrinks (reward ``beta``) while pledges indicate available
+resources and grows (penalty ``alpha``) when a HELP goes unanswered, so
+"unnecessary discovery activity" is avoided "when the whole system is
+heavily loaded".  ``Upper_limit`` bounds the back-off; the reward guard
+keeps the interval positive.
+
+:class:`HelpScheduler` implements exactly this state machine, decoupled
+from messaging: the owning agent supplies a ``send`` callback and feeds
+pledges back in.  The adaptive-PULL baseline reuses it with
+``adaptive=False`` (fixed window — the "time window = 100" variant).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..sim.events import Event
+from ..sim.kernel import Simulator
+
+__all__ = ["HelpScheduler"]
+
+
+class HelpScheduler:
+    """The adaptive (or fixed) HELP-interval state machine.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel (for the response timer).
+    send:
+        Callback that actually floods a HELP message.
+    initial_interval, alpha, beta, upper_limit, response_timeout:
+        Algorithm H parameters (see module docstring).
+    adaptive:
+        ``False`` freezes the interval at ``initial_interval`` — used by
+        the ``Pull-100`` baseline where the window is fixed.
+    min_interval:
+        Positivity floor implementing the paper's ``> 0`` reward guard.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send: Callable[[], None],
+        *,
+        initial_interval: float,
+        alpha: float,
+        beta: float,
+        upper_limit: float,
+        response_timeout: float,
+        adaptive: bool = True,
+        min_interval: float = 1e-3,
+        on_timeout: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if initial_interval <= 0 or upper_limit < initial_interval:
+            raise ValueError("need 0 < initial_interval <= upper_limit")
+        if response_timeout <= 0:
+            raise ValueError("response_timeout must be positive")
+        self.sim = sim
+        self.send = send
+        self.interval = float(initial_interval)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.upper_limit = float(upper_limit)
+        self.response_timeout = float(response_timeout)
+        self.adaptive = adaptive
+        self.min_interval = float(min_interval)
+        #: optional escalation hook fired on every failed round — the
+        #: inter-community extension uses this to go up a level
+        self.on_timeout = on_timeout
+
+        self.last_sent = -float("inf")  # T_sent
+        self._timer: Optional[Event] = None
+        self.helps_sent = 0
+        self.timeouts = 0
+        self.rewards = 0
+        self.penalties = 0
+        #: (time, interval) trail for the ablation study
+        self.interval_history: List[Tuple[float, float]] = []
+
+    # Trigger path ------------------------------------------------------------
+
+    def maybe_send(self) -> bool:
+        """The arrival-time gate: send iff the interval window has passed.
+
+        The *caller* checks the threshold condition ("resource usage would
+        exceed a threshold level"); this method implements the
+        ``(T_current - T_sent) > HELP_interval`` test, the send, and
+        ``set_timer``.
+        """
+        now = self.sim.now
+        if (now - self.last_sent) <= self.interval:
+            return False
+        self.last_sent = now
+        self.helps_sent += 1
+        self._arm_timer()
+        self.send()
+        return True
+
+    def _arm_timer(self) -> None:
+        self._disarm_timer()
+        self._timer = self.sim.after(self.response_timeout, self._on_timeout)
+
+    def _disarm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # Feedback path -----------------------------------------------------------
+
+    def _on_timeout(self) -> None:
+        """Penalty: no pledge within the response window."""
+        self._timer = None
+        self.timeouts += 1
+        if self.on_timeout is not None:
+            self.on_timeout()
+        if not self.adaptive:
+            return
+        grown = self.interval + self.interval * self.alpha
+        if grown < self.upper_limit:
+            self.interval = grown
+            self.penalties += 1
+        else:
+            self.interval = self.upper_limit
+            self.penalties += 1
+        self.interval_history.append((self.sim.now, self.interval))
+
+    def on_pledge(self, found_node: bool) -> None:
+        """Feedback from an arriving PLEDGE.
+
+        ``found_node`` is the paper's "a node is found for migration":
+        the pledge reports enough availability to host the pending demand.
+        Only such a pledge satisfies the response window ("reset_timer" +
+        reward); an unusable pledge leaves the window armed, so a HELP
+        round that discovers no usable resources still incurs the penalty
+        — this is what pins the interval at ``Upper_limit`` under
+        system-wide overload ("HELP interval is kept at maximum due to
+        the repeated failure of finding available resources").
+        """
+        if not found_node:
+            return
+        if self._timer is None:
+            return  # round already settled: at most one reward per HELP
+        self._disarm_timer()
+        if not self.adaptive:
+            return
+        shrunk = self.interval - self.interval * self.beta
+        if shrunk > 0:
+            self.interval = max(shrunk, self.min_interval)
+            self.rewards += 1
+            self.interval_history.append((self.sim.now, self.interval))
+
+    # Lifecycle / introspection -----------------------------------------------
+
+    def stop(self) -> None:
+        self._disarm_timer()
+
+    def mean_interval(self) -> float:
+        """Time-weighted mean of the interval trail (diagnostics)."""
+        hist = self.interval_history
+        if not hist:
+            return self.interval
+        total = 0.0
+        weight = 0.0
+        prev_t, prev_v = hist[0]
+        for t, v in hist[1:]:
+            total += prev_v * (t - prev_t)
+            weight += t - prev_t
+            prev_t, prev_v = t, v
+        return total / weight if weight > 0 else hist[-1][1]

@@ -1,0 +1,91 @@
+"""Algorithm P — pledge policy (Figure 3 of the paper).
+
+Pseudocode from the paper::
+
+    Whenever a HELP message arrives do {
+      If the host has used its resource less than a threshold level
+        Reply PLEDGE;
+    Whenever the resource availability changes across the threshold level do {
+      Reply PLEDGE;
+
+Two triggers: (1) a HELP from an organizer, answered iff the local usage
+is below the threshold, and (2) a threshold crossing in *either*
+direction, reported to the organizers of every community the node
+belongs to, "to keep the organizer's information most current" — this is
+the adaptive-push half of REALTOR.
+
+:class:`PledgePolicy` also fills the PLEDGE's informational fields:
+*number of communities* (from the membership table) and *probability of
+resource grant when requested*, which we estimate from the node's own
+admission history (grants / requests seen, Laplace-smoothed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..node.host import Host
+from .messages import Pledge
+
+__all__ = ["PledgePolicy"]
+
+
+@dataclass
+class PledgePolicy:
+    """Decides when and what to pledge for one host.
+
+    Parameters
+    ----------
+    host:
+        The local resource stack (supplies usage/availability).
+    threshold:
+        The availability threshold (0.9 in the evaluation).
+    """
+
+    host: Host
+    threshold: float
+
+    #: local admission history feeding the grant-probability field
+    requests_seen: int = 0
+    grants_made: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError("threshold must be in (0,1)")
+
+    # Decision points ----------------------------------------------------------
+
+    def should_pledge_on_help(self) -> bool:
+        """Trigger 1: answer a HELP iff usage < threshold."""
+        return self.host.usage() < self.threshold
+
+    def observe_request(self, granted: bool) -> None:
+        """Record an admission request outcome (feeds grant probability)."""
+        self.requests_seen += 1
+        if granted:
+            self.grants_made += 1
+
+    @property
+    def grant_probability(self) -> float:
+        """Laplace-smoothed empirical grant rate.
+
+        With no history this is the optimistic prior 1.0 scaled by current
+        headroom — a fresh node that is wide open should advertise high
+        confidence.
+        """
+        if self.requests_seen == 0:
+            return max(0.0, min(1.0, 1.0 - self.host.usage()))
+        return (self.grants_made + 1) / (self.requests_seen + 2)
+
+    # Message construction -----------------------------------------------------
+
+    def make_pledge(self, communities: int, now: float) -> Pledge:
+        """Build the PLEDGE with the paper's field set."""
+        return Pledge(
+            pledger=self.host.node_id,
+            availability=self.host.availability(),
+            usage=self.host.usage(),
+            communities=communities,
+            grant_probability=self.grant_probability,
+            sent_at=now,
+        )

@@ -1,0 +1,180 @@
+"""Community soft state (Section 4).
+
+"Each host establishes its own community for future software component
+migration, which is a set of nodes able to receive a migrating
+component. ... The membership of a node in a community is valid only for
+the interval between two consecutive refresh messages."
+
+Two bookkeeping structures:
+
+* :class:`Community` — the *organizer's* side: the PLEDGE list, each
+  member tagged with its last report.  Members that stop responding to
+  refreshes (HELPs) "de facto leave" — expressed as a refresh round: a
+  HELP opens a new round; members that have not pledged within the
+  soft-state window are swept.
+* :class:`MembershipTable` — the *member's* side: which communities this
+  node has joined, refreshed by incoming HELPs, expired after
+  ``membership_ttl`` of organizer silence ("when a community organizer
+  stops sending refresh messages, the community will naturally disband").
+
+Both are pure state machines with explicit ``now`` arguments — no kernel
+dependency — so they are trivially property-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .messages import Pledge
+
+__all__ = ["MemberRecord", "Community", "MembershipTable"]
+
+
+@dataclass
+class MemberRecord:
+    """Organizer-side knowledge about one community member."""
+
+    node: int
+    joined_at: float
+    last_pledge_at: float
+    availability: float
+    usage: float
+    available: bool
+    grant_probability: float
+
+    def staleness(self, now: float) -> float:
+        return max(0.0, now - self.last_pledge_at)
+
+
+class Community:
+    """The organizer's PLEDGE list.
+
+    Parameters
+    ----------
+    organizer:
+        Node id owning the community.
+    member_ttl:
+        Seconds of pledge silence after which a member is swept.  This is
+        the soft-state window: in the paper membership lapses when a
+        member misses a refresh; with adaptive HELP intervals the window
+        must cover at least one ``Upper_limit``.
+    """
+
+    def __init__(self, organizer: int, member_ttl: float = 200.0) -> None:
+        if member_ttl <= 0:
+            raise ValueError("member_ttl must be positive")
+        self.organizer = organizer
+        self.member_ttl = float(member_ttl)
+        self._members: Dict[int, MemberRecord] = {}
+        self.refreshes_sent = 0
+        self.total_joins = 0
+
+    # Organizer events -----------------------------------------------------
+
+    def note_refresh(self, now: float) -> List[int]:
+        """A HELP (refresh) went out: sweep silent members.
+
+        Returns the ids of members dropped in this sweep.
+        """
+        self.refreshes_sent += 1
+        dropped = [
+            nid for nid, rec in self._members.items() if rec.staleness(now) > self.member_ttl
+        ]
+        for nid in dropped:
+            del self._members[nid]
+        return dropped
+
+    def on_pledge(self, pledge: Pledge, now: float) -> bool:
+        """Record a PLEDGE; returns ``True`` if this is a new member."""
+        rec = self._members.get(pledge.pledger)
+        is_new = rec is None
+        if is_new:
+            self.total_joins += 1
+            self._members[pledge.pledger] = MemberRecord(
+                node=pledge.pledger,
+                joined_at=now,
+                last_pledge_at=now,
+                availability=pledge.availability,
+                usage=pledge.usage,
+                available=pledge.usage < 1.0 and pledge.availability > 0.0,
+                grant_probability=pledge.grant_probability,
+            )
+        else:
+            assert rec is not None
+            rec.last_pledge_at = now
+            rec.availability = pledge.availability
+            rec.usage = pledge.usage
+            rec.grant_probability = pledge.grant_probability
+        return is_new
+
+    def mark_available(self, node: int, available: bool) -> None:
+        """Set the below-threshold verdict for a member (crossing pledges)."""
+        rec = self._members.get(node)
+        if rec is not None:
+            rec.available = available
+
+    def drop(self, node: int) -> None:
+        """Explicit removal (e.g. the member crashed or declined admission)."""
+        self._members.pop(node, None)
+
+    # Queries --------------------------------------------------------------
+
+    def members(self) -> List[int]:
+        return sorted(self._members)
+
+    def record(self, node: int) -> Optional[MemberRecord]:
+        return self._members.get(node)
+
+    def size(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+@dataclass
+class MembershipTable:
+    """Member-side view: communities this node currently belongs to."""
+
+    owner: int
+    membership_ttl: float = 200.0
+    _joined: Dict[int, float] = field(default_factory=dict)  # organizer -> last HELP time
+
+    def __post_init__(self) -> None:
+        if self.membership_ttl <= 0:
+            raise ValueError("membership_ttl must be positive")
+
+    def on_help(self, organizer: int, now: float) -> None:
+        """A HELP refresh from ``organizer`` (joining or renewing)."""
+        if organizer == self.owner:
+            raise ValueError("a node does not join its own community")
+        self._joined[organizer] = now
+
+    def leave(self, organizer: int) -> None:
+        self._joined.pop(organizer, None)
+
+    def expire(self, now: float) -> List[int]:
+        """Drop communities whose organizer has gone silent; returns them."""
+        gone = [
+            org for org, last in self._joined.items() if now - last > self.membership_ttl
+        ]
+        for org in gone:
+            del self._joined[org]
+        return gone
+
+    def organizers(self, now: Optional[float] = None) -> List[int]:
+        """Live community organizers (expiring lazily when ``now`` given)."""
+        if now is not None:
+            self.expire(now)
+        return sorted(self._joined)
+
+    def count(self, now: Optional[float] = None) -> int:
+        """The PLEDGE field 'number of communities of which it is a member'."""
+        return len(self.organizers(now))
+
+    def __contains__(self, organizer: int) -> bool:
+        return organizer in self._joined

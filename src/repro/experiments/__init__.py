@@ -1,0 +1,33 @@
+"""Experiment harness: configs, runner, sweeps, figures, ablations."""
+
+from .config import PAPER_LAMBDAS, ExperimentConfig, paper_config
+from .confidence import confidence_sweep, confidence_table
+from .figures import (
+    FigureResult,
+    fig5_admission_probability,
+    fig6_message_overhead,
+    fig7_cost_per_task,
+    fig8_migration_rate,
+    fig9_testbed_admission,
+)
+from .runner import System, build_system, run_experiment
+from .sweep import run_replications, run_sweep
+
+__all__ = [
+    "PAPER_LAMBDAS",
+    "ExperimentConfig",
+    "paper_config",
+    "confidence_sweep",
+    "confidence_table",
+    "FigureResult",
+    "fig5_admission_probability",
+    "fig6_message_overhead",
+    "fig7_cost_per_task",
+    "fig8_migration_rate",
+    "fig9_testbed_admission",
+    "System",
+    "build_system",
+    "run_experiment",
+    "run_replications",
+    "run_sweep",
+]

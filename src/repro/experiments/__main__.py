@@ -1,0 +1,132 @@
+"""Command-line entry point: regenerate any figure or ablation.
+
+Usage::
+
+    python -m repro.experiments fig5 [--horizon 10000] [--seed 1] [--parallel]
+    python -m repro.experiments fig6 fig7 fig8 fig9
+    python -m repro.experiments all --horizon 2000
+    python -m repro.experiments ablations
+
+Prints the same rows the paper's figures plot, plus the shape checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from . import ablations as ab
+from . import figures as fg
+
+FIGURES = {
+    "fig5": fg.fig5_admission_probability,
+    "fig6": fg.fig6_message_overhead,
+    "fig7": fg.fig7_cost_per_task,
+    "fig8": fg.fig8_migration_rate,
+}
+
+ABLATIONS = {
+    "a1": ab.ablate_alpha_beta,
+    "a2": ab.ablate_threshold,
+    "a3": ab.ablate_scalability,
+    "a4": ab.ablate_attack,
+    "a5": ab.ablate_retry_policy,
+    "a6": ab.ablate_inter_community,
+    "a7": ab.ablate_multi_resource,
+    "a8": ab.ablate_qos,
+    "b1": ab.ablate_modern_baselines,
+    "b2": ab.ablate_topology,
+    "b3": ab.ablate_latency,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and the ablation tables.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="fig5 fig6 fig7 fig8 fig9 | a1..a5 | all | ablations",
+    )
+    parser.add_argument("--horizon", type=float, default=10_000.0,
+                        help="simulated seconds per run (default 10000)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--parallel", action="store_true",
+                        help="fan runs out over a process pool")
+    parser.add_argument("--save", metavar="PATH", default=None,
+                        help="write the figure sweep results to a JSON file")
+    parser.add_argument("--chart", action="store_true",
+                        help="draw each figure as an ASCII chart too")
+    args = parser.parse_args(argv)
+
+    targets: List[str] = []
+    for t in args.targets:
+        t = t.lower()
+        if t == "all":
+            targets += list(FIGURES) + ["fig9"]
+        elif t == "ablations":
+            targets += list(ABLATIONS)
+        else:
+            targets.append(t)
+
+    failed = False
+    # Figures 5-8 are projections of one sweep; when several are
+    # requested, run the sweep once and share it.
+    shared_raw = None
+    if sum(1 for t in targets if t in FIGURES) > 1:
+        from ..protocols.registry import PAPER_PROTOCOLS
+        from .config import ExperimentConfig
+        from .figures import DEFAULT_RATES
+        from .sweep import run_sweep
+
+        base = ExperimentConfig(horizon=args.horizon, seed=args.seed)
+        shared_raw = run_sweep(
+            PAPER_PROTOCOLS, list(DEFAULT_RATES), base, parallel=args.parallel
+        )
+
+    for target in targets:
+        if target in FIGURES:
+            result = FIGURES[target](
+                horizon=args.horizon,
+                seed=args.seed,
+                parallel=args.parallel,
+                raw=shared_raw,
+            )
+            if shared_raw is None:
+                shared_raw = result.raw  # reuse for later figures / --save
+            print(result.summary())
+            if args.chart:
+                from ..analysis.ascii_chart import render
+
+                print()
+                print(render(result.xs, result.series,
+                             title=result.figure, x_label="lambda"))
+            print()
+            failed |= not result.all_passed
+        elif target == "fig9":
+            result = fg.fig9_testbed_admission(
+                horizon=min(args.horizon, 5_000.0), seed=args.seed
+            )
+            print(result.summary())
+            print()
+            failed |= not result.all_passed
+        elif target in ABLATIONS:
+            print(ABLATIONS[target]().summary())
+            print()
+        else:
+            print(f"unknown target: {target}", file=sys.stderr)
+            return 2
+
+    if args.save and shared_raw is not None:
+        from ..metrics.export import save_sweep
+
+        path = save_sweep(shared_raw, args.save)
+        print(f"sweep results written to {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Message and event counters.
+
+The paper's overhead metric is a weighted message count: a flood costs
+``#links``, a unicast costs its hop count.  :class:`MessageCounters`
+accumulates these per message kind so the figures can report totals
+(Fig 6), per-kind breakdowns, and per-admitted-task costs (Fig 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+__all__ = ["MessageCounters", "TaskCounters"]
+
+
+@dataclass
+class MessageCounters:
+    """Weighted message-cost accumulator keyed by message kind."""
+
+    by_kind: Dict[str, float] = field(default_factory=dict)
+    sends_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, kind: str, cost: float) -> None:
+        """Record one send of ``kind`` with weighted ``cost``."""
+        if cost < 0:
+            raise ValueError(f"negative message cost: {cost}")
+        self.by_kind[kind] = self.by_kind.get(kind, 0.0) + cost
+        self.sends_by_kind[kind] = self.sends_by_kind.get(kind, 0) + 1
+
+    def total(self) -> float:
+        """Total weighted message count across kinds (the Fig 6 y-axis)."""
+        return sum(self.by_kind.values())
+
+    def total_for(self, *kinds: str) -> float:
+        return sum(self.by_kind.get(k, 0.0) for k in kinds)
+
+    def sends(self, kind: str) -> int:
+        """Number of send operations of ``kind`` (unweighted)."""
+        return self.sends_by_kind.get(kind, 0)
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self.by_kind)
+
+    def merge(self, other: "MessageCounters") -> None:
+        for kind, cost in other.by_kind.items():
+            self.by_kind[kind] = self.by_kind.get(kind, 0.0) + cost
+        for kind, n in other.sends_by_kind.items():
+            self.sends_by_kind[kind] = self.sends_by_kind.get(kind, 0) + n
+
+    def reset(self) -> None:
+        self.by_kind.clear()
+        self.sends_by_kind.clear()
+
+
+@dataclass
+class TaskCounters:
+    """Task-outcome accumulator — the numerators/denominators of Figs 5 & 8."""
+
+    generated: int = 0
+    admitted_local: int = 0
+    admitted_migrated: int = 0
+    rejected: int = 0
+    completed: int = 0
+    lost: int = 0
+    evacuations: int = 0
+    evacuation_failures: int = 0
+    migration_attempts: int = 0
+    migration_failures: int = 0
+
+    @property
+    def admitted(self) -> int:
+        return self.admitted_local + self.admitted_migrated
+
+    @property
+    def admission_probability(self) -> float:
+        """admitted / generated (Fig 5's y-axis); 0 when nothing generated."""
+        return self.admitted / self.generated if self.generated else 0.0
+
+    @property
+    def migration_rate(self) -> float:
+        """migrated / admitted (Fig 8's y-axis)."""
+        return self.admitted_migrated / self.admitted if self.admitted else 0.0
+
+    def cost_per_admitted(self, messages: MessageCounters) -> float:
+        """Weighted messages per admitted task (Fig 7's y-axis)."""
+        return messages.total() / self.admitted if self.admitted else float("inf")
+
+    def check_conservation(self) -> None:
+        """Every generated task is admitted, rejected or still in flight.
+
+        Called by tests and at end of runs; raises on accounting drift.
+        """
+        accounted = self.admitted + self.rejected
+        if accounted > self.generated:
+            raise AssertionError(
+                f"task accounting drift: admitted={self.admitted} "
+                f"rejected={self.rejected} > generated={self.generated}"
+            )
+
+    def as_dict(self) -> Mapping[str, float]:
+        return {
+            "generated": self.generated,
+            "admitted_local": self.admitted_local,
+            "admitted_migrated": self.admitted_migrated,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "lost": self.lost,
+            "evacuations": self.evacuations,
+            "evacuation_failures": self.evacuation_failures,
+            "admission_probability": self.admission_probability,
+            "migration_rate": self.migration_rate,
+        }

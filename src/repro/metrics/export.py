@@ -1,0 +1,97 @@
+"""Result serialisation.
+
+Runs are expensive; their results should outlive the process.  This
+module round-trips :class:`~repro.metrics.collector.RunResult` records
+and whole sweeps through plain JSON — no pickle, so artifacts are
+portable, diffable and safe to load.
+
+Layout of a sweep file::
+
+    {
+      "format": "repro-sweep/1",
+      "results": {"<protocol>": {"<rate>": {<run result>}, ...}, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from .collector import RunResult
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_sweep",
+    "load_sweep",
+    "FORMAT_TAG",
+]
+
+FORMAT_TAG = "repro-sweep/1"
+
+#: RunResult fields serialised verbatim (order defines the JSON layout)
+_FIELDS = (
+    "params",
+    "horizon",
+    "generated",
+    "admitted_local",
+    "admitted_migrated",
+    "rejected",
+    "completed",
+    "lost",
+    "evacuations",
+    "evacuation_failures",
+    "messages_total",
+    "messages_by_kind",
+    "response_time_mean",
+    "help_interval_mean",
+    "extra",
+)
+
+
+def result_to_dict(result: RunResult) -> Dict[str, object]:
+    """A JSON-ready mapping of one run."""
+    return {name: getattr(result, name) for name in _FIELDS}
+
+
+def result_from_dict(data: Dict[str, object]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
+    missing = [name for name in _FIELDS if name not in data]
+    if missing:
+        raise ValueError(f"result record missing fields: {missing}")
+    kwargs = {name: data[name] for name in _FIELDS}
+    return RunResult(**kwargs)  # type: ignore[arg-type]
+
+
+def save_sweep(
+    results: Dict[str, Dict[float, RunResult]],
+    path: Union[str, Path],
+) -> Path:
+    """Write a sweep (``[protocol][rate] -> RunResult``) as JSON."""
+    path = Path(path)
+    payload = {
+        "format": FORMAT_TAG,
+        "results": {
+            proto: {repr(rate): result_to_dict(res) for rate, res in series.items()}
+            for proto, series in results.items()
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_sweep(path: Union[str, Path]) -> Dict[str, Dict[float, RunResult]]:
+    """Read a sweep file written by :func:`save_sweep`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != FORMAT_TAG:
+        raise ValueError(
+            f"not a {FORMAT_TAG} file: {payload.get('format')!r}"
+        )
+    out: Dict[str, Dict[float, RunResult]] = {}
+    for proto, series in payload["results"].items():
+        out[proto] = {
+            float(rate): result_from_dict(record) for rate, record in series.items()
+        }
+    return out

@@ -1,0 +1,123 @@
+"""Time-series recording.
+
+Periodic samplers attach to the kernel and record (time, value) pairs —
+queue usage trajectories, community sizes, view staleness.  Values are
+held in grow-by-doubling NumPy buffers so long runs stay cheap, and the
+accessors return array views suitable for vectorised analysis (the
+hpc-parallel guideline: vectorise the analysis, keep the hot loop lean).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..sim.events import Priority
+from ..sim.kernel import Simulator
+
+__all__ = ["TimeSeries", "Sampler"]
+
+
+class TimeSeries:
+    """Append-only (time, value) series backed by NumPy buffers."""
+
+    def __init__(self, name: str = "", initial_capacity: int = 256) -> None:
+        self.name = name
+        self._t = np.empty(initial_capacity, dtype=np.float64)
+        self._v = np.empty(initial_capacity, dtype=np.float64)
+        self._n = 0
+
+    def append(self, t: float, v: float) -> None:
+        if self._n == self._t.shape[0]:
+            self._t = np.resize(self._t, self._n * 2)
+            self._v = np.resize(self._v, self._n * 2)
+        self._t[self._n] = t
+        self._v[self._n] = v
+        self._n += 1
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._t[: self._n]
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._v[: self._n]
+
+    # Analysis ---------------------------------------------------------------
+
+    def mean(self) -> float:
+        return float(self.values.mean()) if self._n else 0.0
+
+    def max(self) -> float:
+        return float(self.values.max()) if self._n else 0.0
+
+    def time_average(self) -> float:
+        """Piecewise-constant time average (value holds until next sample)."""
+        if self._n < 2:
+            return self.mean()
+        t, v = self.times, self.values
+        dt = np.diff(t)
+        span = t[-1] - t[0]
+        if span <= 0:
+            return self.mean()
+        return float(np.dot(v[:-1], dt) / span)
+
+    def window(self, t0: float, t1: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Samples with ``t0 <= time < t1``."""
+        mask = (self.times >= t0) & (self.times < t1)
+        return self.times[mask], self.values[mask]
+
+    def crossings(self, level: float) -> int:
+        """Number of sign changes of (value - level) — sampled crossing count."""
+        if self._n < 2:
+            return 0
+        side = np.sign(self.values - level)
+        side[side == 0] = 1
+        return int(np.count_nonzero(np.diff(side)))
+
+
+class Sampler:
+    """Periodically samples callables into named :class:`TimeSeries`.
+
+    >>> sampler = Sampler(sim, interval=10.0)
+    >>> sampler.watch("usage0", host.usage)
+    """
+
+    def __init__(self, sim: Simulator, interval: float) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval = float(interval)
+        self.series: Dict[str, TimeSeries] = {}
+        self._probes: Dict[str, Callable[[], float]] = {}
+        # SAMPLING priority: samples observe post-event state at their
+        # timestamp (completions, admissions and messages all fire first)
+        from ..sim.events import Priority
+
+        self._timer = sim.periodic(interval, self._sample, priority=Priority.SAMPLING)
+
+    def watch(self, name: str, probe: Callable[[], float]) -> TimeSeries:
+        """Register a probe; its registration-time value is sampled
+        immediately so every series starts at the watch instant."""
+        if name in self._probes:
+            raise ValueError(f"probe already registered: {name}")
+        ts = TimeSeries(name)
+        self.series[name] = ts
+        self._probes[name] = probe
+        ts.append(self.sim.now, float(probe()))
+        return ts
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        for name, probe in self._probes.items():
+            self.series[name].append(now, float(probe()))
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    def get(self, name: str) -> Optional[TimeSeries]:
+        return self.series.get(name)

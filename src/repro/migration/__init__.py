@@ -1,0 +1,23 @@
+"""Migration layer: admission negotiation, attempt policies, coordination."""
+
+from .admission import KIND_ADMIT_REP, KIND_ADMIT_REQ, AdmissionControl
+from .migrator import MigrationCoordinator
+from .policy import (
+    KTryPolicy,
+    MigrationPolicy,
+    OneShotPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "KIND_ADMIT_REP",
+    "KIND_ADMIT_REQ",
+    "AdmissionControl",
+    "MigrationCoordinator",
+    "KTryPolicy",
+    "MigrationPolicy",
+    "OneShotPolicy",
+    "RandomPolicy",
+    "make_policy",
+]

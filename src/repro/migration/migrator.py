@@ -1,0 +1,200 @@
+"""The migration coordinator.
+
+Glues workload arrivals, discovery agents, admission controls and the
+fault model together:
+
+* :meth:`MigrationCoordinator.place_task` implements the paper's task
+  lifecycle — discovery trigger, local admission, otherwise a
+  policy-bounded sequence of remote negotiations;
+* :meth:`MigrationCoordinator.handle_fault` implements survivability —
+  evacuating components off compromised nodes and accounting losses on
+  crashes.
+
+All remote steps are asynchronous (event-driven continuations), so the
+coordinator behaves correctly under message latency and mid-negotiation
+faults, not just in the zero-latency configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..metrics.collector import MetricsCollector
+from ..network.faults import NodeState
+from ..node.host import Host
+from ..node.task import Task, TaskOutcome
+from ..protocols.base import DiscoveryAgent
+from ..sim.kernel import Simulator
+from .admission import AdmissionControl
+from .policy import MigrationPolicy, OneShotPolicy
+
+__all__ = ["MigrationCoordinator"]
+
+
+class MigrationCoordinator:
+    """System-wide placement and survivability logic.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    hosts, agents, admissions:
+        Per-node components, keyed by node id (same key set).
+    metrics:
+        Run-level metrics sink.
+    policy:
+        Migration-attempt policy (defaults to the paper's one-shot).
+    is_up:
+        Liveness predicate (from the fault manager); defaults to all-up.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hosts: Dict[int, Host],
+        agents: Dict[int, DiscoveryAgent],
+        admissions: Dict[int, AdmissionControl],
+        metrics: MetricsCollector,
+        policy: Optional[MigrationPolicy] = None,
+        is_up: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        if set(hosts) != set(agents) or set(hosts) != set(admissions):
+            raise ValueError("hosts/agents/admissions must share the same node ids")
+        self.sim = sim
+        self.hosts = hosts
+        self.agents = agents
+        self.admissions = admissions
+        self.metrics = metrics
+        self.policy = policy if policy is not None else OneShotPolicy()
+        self.is_up = is_up if is_up is not None else (lambda _n: True)
+
+    # Placement ------------------------------------------------------------
+
+    def place_task(self, task: Task) -> None:
+        """Run the full admission pipeline for a newly arrived task."""
+        self.metrics.task_generated()
+        origin = task.origin
+        if not self.is_up(origin):
+            # Arrivals are only routed to live nodes by the workload layer;
+            # a race with a crash in the same instant rejects the task.
+            task.mark_rejected()
+            self.metrics.task_rejected(task)
+            return
+        host = self.hosts[origin]
+        agent = self.agents[origin]
+        # Discovery trigger first: the paper's Algorithm H fires on every
+        # arrival whose admission *would* push usage over the threshold —
+        # including arrivals that are still admitted locally.
+        agent.notify_task_arrival(task)
+        if host.can_accept(task):
+            host.accept(task, TaskOutcome.LOCAL)
+            self.metrics.task_admitted(task)
+            return
+        self._try_remote(task, outcome=TaskOutcome.MIGRATED)
+
+    def _try_remote(self, task: Task, outcome: TaskOutcome) -> None:
+        agent = self.agents[task.origin]
+        ranked = agent.candidates(task)
+        attempts = self.policy.select(task, ranked)
+        self._attempt_chain(task, attempts, 0, outcome)
+
+    def _attempt_chain(
+        self, task: Task, attempts: List[int], idx: int, outcome: TaskOutcome
+    ) -> None:
+        if idx >= len(attempts):
+            self._give_up(task, outcome)
+            return
+        candidate = attempts[idx]
+        admission = self.admissions[task.origin]
+
+        def _done(granted: bool) -> None:
+            success = granted
+            if outcome is TaskOutcome.MIGRATED:
+                self.metrics.migration_attempt(success)
+            if granted:
+                # The responder already reserved and admitted the task.
+                self.metrics.task_admitted(task)
+                if outcome is TaskOutcome.EVACUATED:
+                    self.metrics.evacuation(True)
+                self.sim.trace.emit(
+                    self.sim.now,
+                    "migration",
+                    task=task.task_id,
+                    src=task.origin,
+                    dst=candidate,
+                    outcome=outcome.value,
+                )
+            else:
+                # Stale view: drop the failed candidate so an immediate
+                # retry (k-try policy) does not repeat it.
+                self.agents[task.origin].view.forget(candidate)
+                self._attempt_chain(task, attempts, idx + 1, outcome)
+
+        admission.negotiate(task, candidate, outcome, _done)
+
+    def _give_up(self, task: Task, outcome: TaskOutcome) -> None:
+        task.mark_rejected()
+        self.metrics.task_rejected(task)
+        if outcome is TaskOutcome.EVACUATED:
+            self.metrics.evacuation(False)
+        self.sim.trace.emit(self.sim.now, "rejection", task=task.task_id, src=task.origin)
+
+    # Survivability -----------------------------------------------------------
+
+    def handle_fault(self, node: int, state: NodeState) -> None:
+        """Fault-manager observer: evacuate on compromise, account crashes."""
+        if state is NodeState.COMPROMISED:
+            self.evacuate(node)
+        elif state is NodeState.CRASHED:
+            lost = self.hosts[node].crash()
+            for task in lost:
+                self.metrics.task_lost(task)
+
+    def evacuate(self, node: int) -> None:
+        """Move every withdrawable component off a compromised node.
+
+        The compromised node uses its *own* (pre-attack) view — the whole
+        point of pro-active discovery is that this list is ready the
+        moment the attack is detected.  Tasks that cannot be placed are
+        lost (evacuation failure); a started head task cannot be
+        withdrawn and stays behind.
+        """
+        host = self.hosts[node]
+        for task in list(host.evacuable_tasks()):
+            host.withdraw(task)
+            # Withdrawn tasks re-enter the placement pipeline from this
+            # node, bypassing local admission (the node is compromised).
+            task.origin = node
+            # The task was already counted admitted at first placement; an
+            # evacuation re-admission must not double-count, so route the
+            # accounting through the dedicated evacuation path.
+            self._evacuate_one(task)
+
+    def _evacuate_one(self, task: Task) -> None:
+        agent = self.agents[task.origin]
+        ranked = agent.candidates(task)
+        attempts = self.policy.select(task, ranked)
+        if not attempts:
+            task.mark_lost()
+            self.metrics.evacuation(False)
+            self.metrics.task_lost(task)
+            return
+        candidate = attempts[0]
+        admission = self.admissions[task.origin]
+
+        def _done(granted: bool) -> None:
+            if granted:
+                self.metrics.evacuation(True)
+                self.sim.trace.emit(
+                    self.sim.now,
+                    "evacuation",
+                    task=task.task_id,
+                    src=task.origin,
+                    dst=candidate,
+                )
+            else:
+                task.mark_lost()
+                self.metrics.evacuation(False)
+                self.metrics.task_lost(task)
+
+        admission.negotiate(task, candidate, TaskOutcome.EVACUATED, _done)

@@ -1,0 +1,40 @@
+"""Network substrate: overlay topology, routing, transport, faults."""
+
+from .faults import FaultEvent, FaultManager, NodeState
+from .generators import (
+    binary_tree,
+    full_mesh,
+    mesh,
+    paper_topology,
+    random_regularish,
+    ring,
+    star,
+    torus,
+)
+from .routing import Router, bfs_distances, shortest_path
+from .topology import Link, NodeId, Topology
+from .transport import CostModel, Delivery, Transport, UnicastCostMode
+
+__all__ = [
+    "FaultEvent",
+    "FaultManager",
+    "NodeState",
+    "binary_tree",
+    "full_mesh",
+    "mesh",
+    "paper_topology",
+    "random_regularish",
+    "ring",
+    "star",
+    "torus",
+    "Router",
+    "bfs_distances",
+    "shortest_path",
+    "Link",
+    "NodeId",
+    "Topology",
+    "CostModel",
+    "Delivery",
+    "Transport",
+    "UnicastCostMode",
+]

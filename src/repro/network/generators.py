@@ -1,0 +1,146 @@
+"""Topology generators.
+
+The paper's evaluation uses a 5x5 mesh (25 nodes, 40 links).  The
+scalability ablation (A3 in DESIGN.md) sweeps mesh sizes; the attack study
+uses other shapes to vary connectivity.  All generators number nodes
+``0..n-1`` deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .topology import Topology
+
+__all__ = [
+    "mesh",
+    "torus",
+    "ring",
+    "star",
+    "full_mesh",
+    "binary_tree",
+    "random_regularish",
+    "paper_topology",
+]
+
+
+def mesh(rows: int, cols: int) -> Topology:
+    """Rectangular grid: ``rows*cols`` nodes, ``rows*(cols-1)+cols*(rows-1)``
+    links.  ``mesh(5, 5)`` is the paper's 25-node / 40-link topology.
+
+    Node ``(r, c)`` gets id ``r*cols + c``.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("mesh dimensions must be >= 1")
+    topo = Topology(nodes=range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            nid = r * cols + c
+            if c + 1 < cols:
+                topo.add_link(nid, nid + 1)
+            if r + 1 < rows:
+                topo.add_link(nid, nid + cols)
+    return topo
+
+
+def torus(rows: int, cols: int) -> Topology:
+    """Mesh with wrap-around links (degree 4 everywhere, rows/cols >= 3)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs rows, cols >= 3")
+    topo = mesh(rows, cols)
+    for r in range(rows):
+        topo.add_link(r * cols, r * cols + cols - 1)
+    for c in range(cols):
+        topo.add_link(c, (rows - 1) * cols + c)
+    return topo
+
+
+def ring(n: int) -> Topology:
+    """Cycle of ``n >= 3`` nodes."""
+    if n < 3:
+        raise ValueError("ring needs n >= 3")
+    topo = Topology(nodes=range(n))
+    for i in range(n):
+        topo.add_link(i, (i + 1) % n)
+    return topo
+
+
+def star(n: int) -> Topology:
+    """Hub node 0 linked to ``n-1`` leaves (models a fragile centre)."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    topo = Topology(nodes=range(n))
+    for i in range(1, n):
+        topo.add_link(0, i)
+    return topo
+
+
+def full_mesh(n: int) -> Topology:
+    """Complete graph on ``n`` nodes (the LAN-cluster overlay of Section 6)."""
+    if n < 2:
+        raise ValueError("full mesh needs n >= 2")
+    topo = Topology(nodes=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            topo.add_link(i, j)
+    return topo
+
+
+def binary_tree(depth: int) -> Topology:
+    """Complete binary tree of given depth (root = 0, ``2**(depth+1)-1`` nodes)."""
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    n = 2 ** (depth + 1) - 1
+    topo = Topology(nodes=range(n))
+    for i in range(n):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < n:
+                topo.add_link(i, child)
+    return topo
+
+
+def random_regularish(
+    n: int,
+    degree: int,
+    rng: Optional[np.random.Generator] = None,
+    max_tries: int = 200,
+) -> Topology:
+    """Connected random graph with (approximately) uniform degree.
+
+    A simple pairing construction: repeatedly shuffle a multiset with each
+    node repeated ``degree`` times and pair adjacent entries, rejecting
+    self-loops/duplicates; retried until the result is connected.  Not a
+    uniform random regular graph, but adequate for sensitivity studies.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if n < 2 or degree < 1 or degree >= n:
+        raise ValueError("need 2 <= degree+1 <= n")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even")
+    for _ in range(max_tries):
+        stubs = np.repeat(np.arange(n), degree)
+        rng.shuffle(stubs)
+        topo = Topology(nodes=range(n))
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = int(stubs[i]), int(stubs[i + 1])
+            if u == v or topo.has_link(u, v):
+                ok = False
+                break
+            topo.add_link(u, v)
+        if ok and topo.is_connected():
+            return topo
+    raise RuntimeError(
+        f"failed to build a connected degree-{degree} graph on {n} nodes "
+        f"after {max_tries} tries"
+    )
+
+
+def paper_topology() -> Topology:
+    """The exact evaluation topology of Section 5: 5x5 mesh, 25 nodes, 40 links."""
+    topo = mesh(5, 5)
+    assert topo.num_nodes == 25 and topo.num_links == 40
+    return topo

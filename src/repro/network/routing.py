@@ -1,0 +1,158 @@
+"""Shortest-path routing over a :class:`~repro.network.topology.Topology`.
+
+The message-accounting model of the paper charges a unicast message the
+length of the shortest path between the endpoints and quotes the *average*
+shortest-path length (4 hops on the 5x5 mesh) as the PLEDGE cost.  This
+module provides both the exact per-pair distances and the network-wide
+mean, with caching keyed on the topology's mutation counter so the fault
+model invalidates everything automatically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .topology import NodeId, Topology
+
+__all__ = ["Router", "bfs_distances", "shortest_path"]
+
+UNREACHABLE = -1
+
+
+def bfs_distances(topo: Topology, source: NodeId) -> Dict[NodeId, int]:
+    """Hop distances from ``source`` to every reachable node (BFS)."""
+    if not topo.has_node(source):
+        raise KeyError(f"no such node: {source}")
+    dist = {source: 0}
+    dq = deque([source])
+    while dq:
+        cur = dq.popleft()
+        d = dist[cur] + 1
+        for nxt in topo.neighbors(cur):
+            if nxt not in dist:
+                dist[nxt] = d
+                dq.append(nxt)
+    return dist
+
+
+def shortest_path(topo: Topology, source: NodeId, dest: NodeId) -> Optional[List[NodeId]]:
+    """One shortest node path ``source..dest`` (deterministic: smallest-id
+    predecessor wins), or ``None`` if unreachable."""
+    if not topo.has_node(source) or not topo.has_node(dest):
+        raise KeyError("endpoint not in topology")
+    if source == dest:
+        return [source]
+    parent: Dict[NodeId, NodeId] = {source: source}
+    dq = deque([source])
+    while dq:
+        cur = dq.popleft()
+        for nxt in topo.neighbors(cur):  # sorted => deterministic parents
+            if nxt not in parent:
+                parent[nxt] = cur
+                if nxt == dest:
+                    path = [dest]
+                    while path[-1] != source:
+                        path.append(parent[path[-1]])
+                    path.reverse()
+                    return path
+                dq.append(nxt)
+    return None
+
+
+class Router:
+    """Cached all-pairs hop-count oracle.
+
+    Distances are stored in a dense ``int32`` matrix indexed by position in
+    the sorted node list — O(V^2) memory, which is fine for the network
+    sizes in this study (<= a few thousand nodes) and keeps lookups cheap
+    in the simulator's hot path.
+    """
+
+    def __init__(self, topo: Topology) -> None:
+        self.topo = topo
+        self._version = -1
+        self._index: Dict[NodeId, int] = {}
+        self._matrix: np.ndarray = np.zeros((0, 0), dtype=np.int32)
+        self._mean_path: float = 0.0
+
+    # Cache maintenance ---------------------------------------------------
+
+    def _refresh(self) -> None:
+        if self._version == self.topo.version:
+            return
+        nodes = self.topo.nodes()
+        n = len(nodes)
+        self._index = {nid: i for i, nid in enumerate(nodes)}
+        mat = np.full((n, n), UNREACHABLE, dtype=np.int32)
+        for nid in nodes:
+            i = self._index[nid]
+            for other, d in bfs_distances(self.topo, nid).items():
+                mat[i, self._index[other]] = d
+        self._matrix = mat
+        # Mean over reachable ordered pairs, excluding self-pairs.
+        off_diag = ~np.eye(n, dtype=bool)
+        reachable = (mat >= 0) & off_diag
+        self._mean_path = float(mat[reachable].mean()) if reachable.any() else 0.0
+        self._version = self.topo.version
+
+    # Queries ----------------------------------------------------------------
+
+    def distance(self, source: NodeId, dest: NodeId) -> int:
+        """Hop count, or ``UNREACHABLE`` (-1) if disconnected."""
+        self._refresh()
+        try:
+            return int(self._matrix[self._index[source], self._index[dest]])
+        except KeyError:
+            raise KeyError("endpoint not in topology") from None
+
+    def reachable(self, source: NodeId, dest: NodeId) -> bool:
+        return self.distance(source, dest) >= 0
+
+    def mean_shortest_path(self) -> float:
+        """Mean hop count over all reachable ordered node pairs.
+
+        On the paper's 5x5 mesh this is ~3.33; the paper rounds the PLEDGE
+        cost to 4, which :class:`~repro.network.transport.Transport`
+        reproduces via its ``unicast_cost`` override.
+        """
+        self._refresh()
+        return self._mean_path
+
+    def eccentricity(self, source: NodeId) -> int:
+        """Greatest distance from ``source`` to any reachable node."""
+        self._refresh()
+        row = self._matrix[self._index[source]]
+        reachable = row[row >= 0]
+        return int(reachable.max()) if reachable.size else 0
+
+    def diameter(self) -> int:
+        """Greatest finite pairwise distance."""
+        self._refresh()
+        finite = self._matrix[self._matrix >= 0]
+        return int(finite.max()) if finite.size else 0
+
+    def distances_from(self, source: NodeId) -> Dict[NodeId, int]:
+        """Hop distances from ``source`` to each *reachable* node."""
+        self._refresh()
+        row = self._matrix[self._index[source]]
+        return {
+            nid: int(row[i])
+            for nid, i in self._index.items()
+            if row[i] >= 0
+        }
+
+    def within(self, source: NodeId, hops: int) -> List[NodeId]:
+        """Nodes within ``hops`` of ``source`` (excluding ``source``)."""
+        return sorted(
+            nid
+            for nid, d in self.distances_from(source).items()
+            if 0 < d <= hops
+        )
+
+    def matrix(self) -> Tuple[List[NodeId], np.ndarray]:
+        """``(sorted node list, distance matrix)`` — a copy, safe to mutate."""
+        self._refresh()
+        return self.topo.nodes(), self._matrix.copy()

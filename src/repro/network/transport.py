@@ -1,0 +1,303 @@
+"""Message transport with the paper's cost accounting.
+
+Section 5 of the paper counts protocol overhead as follows:
+
+* a *flood* (HELP invitation, or a PUSH advertisement "to the network")
+  costs the number of links of the overlay — each link carries the message
+  exactly once (reverse-path flooding / spanning broadcast),
+* a *unicast* (PLEDGE reply, admission-control negotiation) costs the
+  shortest-path hop count; the paper approximates this with the network
+  average (4 on the 5x5 mesh).
+
+:class:`Transport` implements delivery plus this accounting.  Delivery
+honours the fault model: crashed nodes neither send nor receive, and
+floods only reach the sender's connected component of the *live* overlay.
+
+Latency is configurable (per-hop seconds).  The paper's simulation treats
+dissemination as instantaneous relative to task times, so the default is
+zero latency — messages are still delivered via the event queue (never by
+synchronous call) so handler re-entrancy cannot occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..sim.events import Priority
+from ..sim.kernel import Simulator
+from .routing import Router
+from .topology import NodeId, Topology
+
+__all__ = ["Transport", "Delivery", "CostModel", "UnicastCostMode"]
+
+Handler = Callable[["Delivery"], None]
+CostSink = Callable[[str, float], None]
+
+
+class UnicastCostMode(str, Enum):
+    """How a unicast message is charged.
+
+    ``HOPS``  — exact shortest-path hop count (our default; most faithful).
+    ``MEAN``  — network mean shortest path (recomputed on topology change).
+    ``FIXED`` — a constant supplied by the experiment (the paper uses 4).
+    """
+
+    HOPS = "hops"
+    MEAN = "mean"
+    FIXED = "fixed"
+
+
+@dataclass
+class CostModel:
+    """Message-cost accounting parameters.
+
+    ``flood_cost_override`` lets the cluster emulation model IP multicast
+    on a LAN (one wire message regardless of group size).
+    """
+
+    unicast_mode: UnicastCostMode = UnicastCostMode.HOPS
+    fixed_unicast_cost: float = 4.0
+    flood_cost_override: Optional[float] = None
+
+    def unicast_cost(self, router: Router, src: NodeId, dst: NodeId) -> float:
+        if self.unicast_mode is UnicastCostMode.FIXED:
+            return self.fixed_unicast_cost
+        if self.unicast_mode is UnicastCostMode.MEAN:
+            return router.mean_shortest_path()
+        d = router.distance(src, dst)
+        return float(max(d, 0))
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """What a handler receives: the payload plus delivery metadata."""
+
+    src: NodeId
+    dst: NodeId
+    kind: str
+    payload: Any
+    sent_at: float
+    delivered_at: float
+
+
+class Transport:
+    """Delivers messages over the live overlay and accounts their cost.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel (used for delayed delivery).
+    topo:
+        The *full* overlay; liveness is consulted per send via ``is_up``.
+    is_up:
+        Predicate for node liveness; defaults to "always up".  The fault
+        model (:mod:`repro.network.faults`) supplies the real one.
+    cost_model:
+        See :class:`CostModel`.
+    per_hop_latency:
+        Seconds of delay per hop (floods use the BFS depth per receiver).
+    on_cost:
+        Callback ``(message kind, cost)`` invoked once per send; the
+        metrics collector hooks in here.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topo: Topology,
+        *,
+        is_up: Optional[Callable[[NodeId], bool]] = None,
+        liveness_version: Optional[Callable[[], int]] = None,
+        cost_model: Optional[CostModel] = None,
+        per_hop_latency: float = 0.0,
+        on_cost: Optional[CostSink] = None,
+    ) -> None:
+        self.sim = sim
+        self.topo = topo
+        self.router = Router(topo)
+        self.is_up = is_up if is_up is not None else (lambda _n: True)
+        #: liveness mutation counter; floods cache their (receivers, depths,
+        #: link count) per source until topology or liveness changes.  The
+        #: default constant works with the default always-up predicate.
+        self.liveness_version = (
+            liveness_version if liveness_version is not None else (lambda: 0)
+        )
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.per_hop_latency = float(per_hop_latency)
+        self.on_cost = on_cost
+        self._handlers: Dict[NodeId, Dict[str, Handler]] = {}
+        self._flood_cache: Dict[NodeId, tuple] = {}
+        self.sent_messages = 0
+        self.delivered_messages = 0
+        self.dropped_messages = 0
+
+    # Registration --------------------------------------------------------
+
+    def register(self, node: NodeId, kind: str, handler: Handler) -> None:
+        """Subscribe ``handler`` to messages of ``kind`` addressed to ``node``."""
+        if not self.topo.has_node(node):
+            raise KeyError(f"no such node: {node}")
+        self._handlers.setdefault(node, {})[kind] = handler
+
+    def unregister(self, node: NodeId) -> None:
+        """Drop all handlers of ``node`` (called when a node crashes)."""
+        self._handlers.pop(node, None)
+
+    # Sending -----------------------------------------------------------
+
+    def unicast(self, src: NodeId, dst: NodeId, kind: str, payload: Any) -> bool:
+        """Send point-to-point.  Returns ``True`` if the message was
+        dispatched (receiver may still be down on arrival).
+
+        The cost is charged iff the message leaves the source — a down
+        source sends nothing and costs nothing.
+        """
+        if not self.is_up(src):
+            return False
+        if not self.topo.has_node(dst):
+            raise KeyError(f"no such node: {dst}")
+        self.sent_messages += 1
+        hops = self.router.distance(src, dst)
+        if hops < 0 or not self.is_up(dst):
+            # Unreachable/dead destination: the packets still traverse the
+            # network until dropped; charge the attempted cost.
+            self._charge(kind, self.cost_model.fixed_unicast_cost
+                         if self.cost_model.unicast_mode is UnicastCostMode.FIXED
+                         else max(hops, 1))
+            self.dropped_messages += 1
+            return False
+        self._charge(kind, self.cost_model.unicast_cost(self.router, src, dst))
+        self._deliver_later(src, dst, kind, payload, hops)
+        return True
+
+    def flood(
+        self, src: NodeId, kind: str, payload: Any, *, neighbors_only: bool = False
+    ) -> List[NodeId]:
+        """Broadcast to every live node reachable from ``src``.
+
+        Costs ``#links`` of the live component (or the override), matching
+        the paper's "number of messages ... counted as the number of
+        links".  With ``neighbors_only`` the delivery scope is the direct
+        topology neighbours (Section 5: "the topology represents the
+        limited scope of neighbors for REALTOR and all other four
+        resource discovery schemes"), while the charged cost is unchanged
+        ("this assumption does not affect the performance comparison").
+        Returns the list of receivers.
+        """
+        if not self.is_up(src):
+            return []
+        self.sent_messages += 1
+        if neighbors_only:
+            receivers = tuple(
+                n for n in self.topo.neighbors(src) if self.is_up(n)
+            )
+            depth = {n: 1 for n in receivers}
+            _, _, links = self._flood_structure(src)
+        else:
+            receivers, depth, links = self._flood_structure(src)
+        cost = (
+            self.cost_model.flood_cost_override
+            if self.cost_model.flood_cost_override is not None
+            else float(links)
+        )
+        self._charge(kind, cost)
+        for dst in receivers:
+            self._deliver_later(src, dst, kind, payload, depth[dst])
+        return list(receivers)
+
+    def _flood_structure(self, src: NodeId) -> tuple:
+        """(receivers, depth map, link count) of src's live component.
+
+        Cached per source and invalidated by topology or liveness changes
+        — floods dominate the simulation's event count, and the structure
+        is identical between faults.
+        """
+        key = (self.topo.version, self.liveness_version())
+        cached = self._flood_cache.get(src)
+        if cached is not None and cached[0] == key:
+            return cached[1], cached[2], cached[3]
+        live = self._live_subgraph()
+        if not live.has_node(src):
+            result: tuple = ((), {}, 0)
+        else:
+            comp = next(
+                (c for c in live.connected_components() if src in c), frozenset()
+            )
+            sub = live.subgraph(comp)
+            from .routing import bfs_distances
+
+            depth = bfs_distances(sub, src)
+            receivers = tuple(d for d in sorted(comp) if d != src)
+            result = (receivers, depth, sub.num_links)
+        self._flood_cache[src] = (key, *result)
+        return result
+
+    def multicast(
+        self,
+        src: NodeId,
+        dests: Iterable[NodeId],
+        kind: str,
+        payload: Any,
+        *,
+        cost: Optional[float] = None,
+    ) -> List[NodeId]:
+        """Send to an explicit receiver set.
+
+        Default cost is the sum of unicast costs; the cluster emulation
+        passes ``cost=1.0`` to model LAN IP multicast.
+        """
+        if not self.is_up(src):
+            return []
+        self.sent_messages += 1
+        receivers: List[NodeId] = []
+        total = 0.0
+        for dst in sorted(set(dests)):
+            if dst == src or not self.topo.has_node(dst):
+                continue
+            hops = self.router.distance(src, dst)
+            if hops < 0 or not self.is_up(dst):
+                continue
+            total += self.cost_model.unicast_cost(self.router, src, dst)
+            receivers.append(dst)
+            self._deliver_later(src, dst, kind, payload, hops)
+        self._charge(kind, cost if cost is not None else total)
+        return receivers
+
+    # Internals ------------------------------------------------------------
+
+    def _live_subgraph(self) -> Topology:
+        return self.topo.subgraph([n for n in self.topo.nodes() if self.is_up(n)])
+
+    def _charge(self, kind: str, cost: float) -> None:
+        if self.on_cost is not None:
+            self.on_cost(kind, cost)
+
+    def _deliver_later(
+        self, src: NodeId, dst: NodeId, kind: str, payload: Any, hops: int
+    ) -> None:
+        delay = self.per_hop_latency * max(hops, 0)
+        sent_at = self.sim.now
+
+        def _deliver() -> None:
+            if not self.is_up(dst):
+                self.dropped_messages += 1
+                return
+            handler = self._handlers.get(dst, {}).get(kind)
+            if handler is None:
+                self.dropped_messages += 1
+                return
+            self.delivered_messages += 1
+            handler(
+                Delivery(
+                    src=src,
+                    dst=dst,
+                    kind=kind,
+                    payload=payload,
+                    sent_at=sent_at,
+                    delivered_at=self.sim.now,
+                )
+            )
+
+        self.sim.after(delay, _deliver, priority=Priority.MESSAGE)

@@ -1,0 +1,34 @@
+"""Node substrate: tasks, work queues, monitors, schedulers, hosts."""
+
+from .host import Host
+from .monitor import ThresholdMonitor
+from .queue import QueueFull, WorkQueue
+from .resources import (
+    BANDWIDTH,
+    CPU,
+    SECURITY,
+    ResourceKind,
+    ResourcePool,
+    ResourceSpec,
+)
+from .scheduler import ConstantUtilizationServer, EdfScheduler, Job
+from .task import Task, TaskOutcome, TaskStatus
+
+__all__ = [
+    "Host",
+    "ThresholdMonitor",
+    "QueueFull",
+    "WorkQueue",
+    "BANDWIDTH",
+    "CPU",
+    "SECURITY",
+    "ResourceKind",
+    "ResourcePool",
+    "ResourceSpec",
+    "ConstantUtilizationServer",
+    "EdfScheduler",
+    "Job",
+    "Task",
+    "TaskOutcome",
+    "TaskStatus",
+]

@@ -1,0 +1,150 @@
+"""Resource monitor with threshold-crossing detection.
+
+Both halves of REALTOR key off a usage threshold (0.9 in the evaluation):
+
+* Algorithm P replies PLEDGE "whenever the resource availability changes
+  across the threshold level",
+* the adaptive-PUSH baseline floods its state on exactly the same event.
+
+Backlog *rises* only at admissions (discrete, easy) but *falls*
+continuously as the server drains, so the downward crossing is a real
+point in time between events.  :class:`ThresholdMonitor` computes it
+analytically from the queue's ``busy_until`` and keeps exactly one pending
+crossing event, rescheduled after every state change.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..sim.events import Event, Priority
+from ..sim.kernel import Simulator
+from .queue import WorkQueue
+
+__all__ = ["ThresholdMonitor", "Crossing"]
+
+# direction constants
+UP = "up"
+DOWN = "down"
+
+Crossing = Callable[[str, float], None]  # (direction, usage_after)
+
+
+class ThresholdMonitor:
+    """Watches a :class:`~repro.node.queue.WorkQueue` for threshold crossings.
+
+    Parameters
+    ----------
+    sim, queue:
+        Kernel and the queue under observation.
+    threshold:
+        Usage fraction in (0, 1); the node is *available* (will pledge)
+        while ``usage < threshold``.
+    hysteresis:
+        Optional dead band: after a crossing, the opposite crossing fires
+        only once usage moves ``hysteresis`` past the threshold.  The
+        paper's protocols use 0; the ablation A2 explores small bands to
+        damp the PLEDGE churn behind the Figure 7 peak.
+
+    Callers must invoke :meth:`notify_change` after every queue mutation
+    (the :class:`~repro.node.host.Host` does this).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        queue: WorkQueue,
+        threshold: float,
+        hysteresis: float = 0.0,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0,1), got {threshold}")
+        if hysteresis < 0 or threshold + hysteresis >= 1.0:
+            raise ValueError("invalid hysteresis")
+        self.sim = sim
+        self.queue = queue
+        self.threshold = float(threshold)
+        self.hysteresis = float(hysteresis)
+        self._listeners: List[Crossing] = []
+        self._below = self.queue.usage() < self.threshold
+        self._pending: Optional[Event] = None
+        self.crossings_up = 0
+        self.crossings_down = 0
+
+    # Queries ---------------------------------------------------------------
+
+    def usage(self) -> float:
+        return self.queue.usage()
+
+    @property
+    def below(self) -> bool:
+        """Whether the node currently counts as available (last known side)."""
+        return self._below
+
+    def available(self) -> bool:
+        """Instantaneous availability test used by Algorithm P."""
+        return self.queue.usage() < self.threshold
+
+    # Listeners -----------------------------------------------------------
+
+    def on_cross(self, fn: Crossing) -> None:
+        """Register ``fn(direction, usage)``; direction is ``"up"``/``"down"``."""
+        self._listeners.append(fn)
+
+    # State-change handling ----------------------------------------------------
+
+    def notify_change(self) -> None:
+        """Re-evaluate the threshold side after a queue mutation.
+
+        Fires an UP crossing immediately if the admission pushed usage over
+        the threshold, then (re)schedules the analytic DOWN crossing.
+        """
+        usage = self.queue.usage()
+        if self._below and usage >= self.threshold + self.hysteresis:
+            self._below = False
+            self.crossings_up += 1
+            self._fire(UP, usage)
+        elif not self._below and usage < self.threshold - self.hysteresis:
+            # Can happen via task withdrawal (evacuation), not decay.
+            self._below = True
+            self.crossings_down += 1
+            self._fire(DOWN, usage)
+        self._reschedule_decay()
+
+    def _reschedule_decay(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        if self._below:
+            return  # decay can only cross downward, and we're already below
+        target_backlog = (self.threshold - self.hysteresis) * self.queue.capacity
+        cross_time = self.queue.busy_until - target_backlog
+        # Guard against scheduling in the past due to float fuzz.
+        cross_time = max(cross_time, self.sim.now)
+        self._pending = self.sim.at(
+            cross_time + 1e-9, self._decay_cross, priority=Priority.STATE
+        )
+
+    def _decay_cross(self) -> None:
+        self._pending = None
+        usage = self.queue.usage()
+        if self._below or usage >= self.threshold - self.hysteresis:
+            # A newer admission beat us to it; notify_change rescheduled.
+            return
+        self._below = True
+        self.crossings_down += 1
+        self._fire(DOWN, usage)
+
+    def _fire(self, direction: str, usage: float) -> None:
+        self.sim.trace.emit(
+            self.sim.now, "threshold-cross", direction=direction, usage=usage
+        )
+        for fn in self._listeners:
+            fn(direction, usage)
+
+    def detach(self) -> None:
+        """Cancel pending events and drop listeners (node shutdown)."""
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._listeners.clear()

@@ -1,0 +1,182 @@
+"""The per-node work queue.
+
+Each node is "a single queue of 100 seconds to process tasks" drained by a
+unit-rate CPU (Section 5).  The queue's *backlog* at time ``t`` is the
+residual work in seconds; it rises by ``task.size`` at each admission and
+decays at rate 1 between events.  We represent it analytically through
+``busy_until`` (the instant the server goes idle) instead of stepping the
+decay, so queries are O(1) and exact:
+
+    backlog(t) = max(0, busy_until - t)
+
+Admission control is the paper's test: a task fits iff
+``backlog + size <= capacity``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..sim.events import Priority
+from ..sim.kernel import Simulator
+from .task import Task, TaskStatus
+
+__all__ = ["WorkQueue", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """Raised by :meth:`WorkQueue.admit` when the task does not fit."""
+
+
+class WorkQueue:
+    """FIFO unit-rate work queue with a capacity in seconds.
+
+    Parameters
+    ----------
+    sim:
+        Kernel, used to schedule completion callbacks.
+    capacity:
+        Maximum backlog in seconds (100 in the simulation, 50 on the
+        testbed of Section 6).
+    on_complete:
+        Optional callback ``(task)`` fired when a task finishes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float,
+        on_complete: Optional[Callable[[Task], None]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.on_complete = on_complete
+        self.busy_until = 0.0
+        self._resident: List[Tuple[float, Task]] = []  # (completion_time, task)
+        self.admitted_count = 0
+        self.completed_count = 0
+        self.work_admitted = 0.0
+
+    # Queries ----------------------------------------------------------------
+
+    def backlog(self, now: Optional[float] = None) -> float:
+        """Residual work in seconds at ``now`` (default: current sim time)."""
+        t = self.sim.now if now is None else now
+        return max(0.0, self.busy_until - t)
+
+    def usage(self, now: Optional[float] = None) -> float:
+        """Backlog as a fraction of capacity, in [0, 1]."""
+        return min(self.backlog(now) / self.capacity, 1.0)
+
+    def headroom(self, now: Optional[float] = None) -> float:
+        """Seconds of work the queue can still accept."""
+        return self.capacity - self.backlog(now)
+
+    def fits(self, size: float, now: Optional[float] = None) -> bool:
+        """The paper's admission test: backlog + size <= capacity."""
+        return size <= self.headroom(now) + 1e-12
+
+    def resident_tasks(self) -> List[Task]:
+        """Tasks admitted but not yet completed (FIFO order)."""
+        return [task for _, task in self._resident]
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    # Mutation -----------------------------------------------------------------
+
+    def admit(self, task: Task) -> float:
+        """Enqueue ``task``; returns its completion time.
+
+        Raises :class:`QueueFull` when the task does not fit — callers must
+        check :meth:`fits` (or catch) and route the task to migration.
+        """
+        now = self.sim.now
+        if not self.fits(task.size, now):
+            raise QueueFull(
+                f"task {task.task_id} (size {task.size:.3g}) exceeds headroom "
+                f"{self.headroom(now):.3g}"
+            )
+        start = max(self.busy_until, now)
+        completion = start + task.size
+        self.busy_until = completion
+        self._resident.append((completion, task))
+        self.admitted_count += 1
+        self.work_admitted += task.size
+        self.sim.at(completion, self._complete, task, priority=Priority.STATE)
+        return completion
+
+    def _complete(self, task: Task) -> None:
+        if task.status is not TaskStatus.QUEUED:
+            return  # dropped (node crash) before completion
+        self._resident = [(c, t) for c, t in self._resident if t is not task]
+        task.mark_completed(self.sim.now)
+        self.completed_count += 1
+        if self.on_complete is not None:
+            self.on_complete(task)
+
+    def drop_all(self) -> List[Task]:
+        """Node crash: abandon all resident work.  Returns the lost tasks.
+
+        Completion events become no-ops because the tasks leave QUEUED
+        state here.
+        """
+        lost = [task for _, task in self._resident]
+        for task in lost:
+            task.mark_lost()
+        self._resident.clear()
+        self.busy_until = self.sim.now
+        return lost
+
+    def remove(self, task: Task) -> None:
+        """Withdraw a queued task (evacuation) and compact the backlog.
+
+        The work behind the removed task moves up: every later completion
+        time shifts earlier by ``task.size``; earlier tasks (including a
+        running head) are untouched.  This models a preemptible FIFO queue
+        where un-started work can be migrated away.
+        """
+        entries = self._resident
+        for i, (_, t) in enumerate(entries):
+            if t is task:
+                break
+        else:
+            raise KeyError(f"task {task.task_id} not resident")
+        # Already-started work cannot be withdrawn: only the head task has
+        # started, and only if the server is busy.
+        if i == 0 and self.backlog() > 0:
+            started_for = self.sim.now - (entries[0][0] - task.size)
+            if started_for > 1e-12:
+                raise ValueError(f"task {task.task_id} already started")
+        del entries[i]
+        shifted: List[Tuple[float, Task]] = []
+        for j, (c, t) in enumerate(entries):
+            if j >= i:
+                c2 = c - task.size
+                # The original completion event is now stale (it fires
+                # later and will see the task already completed); install a
+                # guarded event at the new, earlier time.
+                self.sim.at(
+                    max(c2, self.sim.now),
+                    self._complete_if_matches,
+                    t,
+                    c2,
+                    priority=Priority.STATE,
+                )
+                shifted.append((c2, t))
+            else:
+                shifted.append((c, t))
+        self._resident = shifted
+        self.busy_until -= task.size
+        # The withdrawn task re-enters the placement pipeline.
+        task.status = TaskStatus.CREATED
+
+    def _complete_if_matches(self, task: Task, expected_completion: float) -> None:
+        """Completion handler robust to rescheduling: fires only if the
+        task is still resident with this exact completion time."""
+        for c, t in self._resident:
+            if t is task and abs(c - expected_completion) < 1e-9:
+                self._complete(task)
+                return

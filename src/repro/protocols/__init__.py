@@ -1,0 +1,25 @@
+"""Discovery protocols: REALTOR's four baselines plus shared machinery."""
+
+from .adaptive_pull import AdaptivePullAgent
+from .adaptive_push import AdaptivePushAgent
+from .base import DiscoveryAgent, ProtocolConfig, ProtocolContext
+from .pure_pull import PurePullAgent
+from .pure_push import PurePushAgent
+from .registry import PAPER_PROTOCOLS, make_agent, protocol_names, register_protocol
+from .view import ResourceView, ViewEntry
+
+__all__ = [
+    "AdaptivePullAgent",
+    "AdaptivePushAgent",
+    "DiscoveryAgent",
+    "ProtocolConfig",
+    "ProtocolContext",
+    "PurePullAgent",
+    "PurePushAgent",
+    "PAPER_PROTOCOLS",
+    "make_agent",
+    "protocol_names",
+    "register_protocol",
+    "ResourceView",
+    "ViewEntry",
+]

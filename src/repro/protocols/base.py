@@ -1,0 +1,243 @@
+"""Discovery-protocol abstraction.
+
+All five evaluated protocols (REALTOR and the four baselines) share one
+interface so the experiment runner, migration layer and figures treat
+them interchangeably:
+
+* :meth:`DiscoveryAgent.start` — register transport handlers, start timers;
+* :meth:`DiscoveryAgent.notify_task_arrival` — the pull-side trigger,
+  called by the runner on every arrival *before* placement is attempted;
+* :meth:`DiscoveryAgent.candidates` — ranked migration targets from the
+  agent's (possibly stale) :class:`~repro.protocols.view.ResourceView`.
+
+The taxonomy of [Maheswaran 2001] that the paper adopts — push vs pull,
+periodic vs aperiodic — maps onto which hooks an agent actually uses.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from ..core.messages import KIND_ADV, KIND_HELP, KIND_PLEDGE
+from ..network.transport import Delivery, Transport
+from ..node.host import Host
+from ..node.task import Task
+from ..sim.kernel import Simulator
+from .view import ResourceView
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["ProtocolConfig", "ProtocolContext", "DiscoveryAgent"]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables shared across protocols, defaulted to the paper's values.
+
+    The curve names in Section 5 encode these: ``Pull-.9`` uses
+    ``threshold=0.9``; ``Push-1`` uses ``push_interval=1``; ``Pull-100``
+    and ``REALTOR-100`` use ``upper_limit=100``.
+    """
+
+    #: availability threshold for Algorithms H and P (0.9 in all figures)
+    threshold: float = 0.9
+    #: pure-PUSH dissemination period in seconds
+    push_interval: float = 1.0
+    #: Algorithm H: initial HELP interval
+    initial_help_interval: float = 1.0
+    #: Algorithm H: multiplicative penalty on failure (interval += interval*alpha).
+    #: The paper leaves alpha/beta "subject to the local resource manager";
+    #: these defaults were calibrated so the published dynamics emerge
+    #: (interval pinned at Upper_limit under system overload, released when
+    #: resources reappear) — see EXPERIMENTS.md and the A1 ablation.
+    alpha: float = 1.5
+    #: Algorithm H: multiplicative reward on success (interval -= interval*beta)
+    beta: float = 0.2
+    #: Algorithm H: Upper_limit on the HELP interval ("100 time units")
+    upper_limit: float = 100.0
+    #: Algorithm H: response window after a HELP before the penalty applies
+    response_timeout: float = 1.0
+    #: member-side community expiry when no refresh arrives (soft state)
+    membership_ttl: float = 200.0
+    #: optional hard expiry on view entries (None = paper behaviour)
+    view_ttl: Optional[float] = None
+    #: minimum HELP interval floor (prevents a zero interval under
+    #: pathological beta; Algorithm H's guard "if interval - interval*beta > 0")
+    min_help_interval: float = 1e-3
+    #: hard cap on community memberships per node; ``None`` = no hard cap.
+    #: "Each host is free to join as many communities as it is able to
+    #: without over-allocating its spare resources."
+    max_memberships: Optional[int] = None
+    #: when True, the join cap is derived from spare resources: a node may
+    #: hold at most ``floor(headroom / demand)`` memberships (each
+    #: membership is an implicit promise of one component's worth of
+    #: capacity); a hard ``max_memberships`` additionally clamps it.
+    dynamic_membership: bool = False
+    #: dissemination scope: "neighbors" restricts HELP/ADV delivery to
+    #: direct topology neighbours (the paper's Section 5 assumption);
+    #: "network" floods the whole overlay.  Message-cost accounting is
+    #: identical in both modes (flood = #links), per the paper.
+    scope: str = "neighbors"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError("threshold must be in (0,1)")
+        if self.push_interval <= 0 or self.initial_help_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if self.alpha < 0 or not 0.0 <= self.beta < 1.0:
+            raise ValueError("alpha must be >=0, beta in [0,1)")
+        if self.upper_limit < self.initial_help_interval:
+            raise ValueError("upper_limit below initial interval")
+        if self.scope not in ("neighbors", "network"):
+            raise ValueError(f"scope must be 'neighbors' or 'network': {self.scope!r}")
+
+    def with_(self, **kwargs: object) -> "ProtocolConfig":
+        """A modified copy (dataclass is frozen)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+@dataclass
+class ProtocolContext:
+    """Everything a protocol agent needs from its environment."""
+
+    sim: Simulator
+    transport: Transport
+    host: Host
+    config: ProtocolConfig
+    all_nodes: List[int] = field(default_factory=list)
+    #: whether this node may currently advertise/pledge availability; a
+    #: compromised node can still talk (to evacuate) but must not attract
+    #: new work.  Wired to the fault manager by the runner.
+    is_safe: Callable[[], bool] = lambda: True
+
+    @property
+    def node_id(self) -> int:
+        return self.host.node_id
+
+
+class DiscoveryAgent(abc.ABC):
+    """Base class of the five discovery protocols."""
+
+    #: registry key and figure label, e.g. "realtor", "push-1"
+    name: str = "abstract"
+
+    def __init__(self, ctx: ProtocolContext) -> None:
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.transport = ctx.transport
+        self.host = ctx.host
+        self.config = ctx.config
+        self.node_id = ctx.node_id
+        self.view = ResourceView(self.node_id, ttl=ctx.config.view_ttl)
+        self._started = False
+
+    # Lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Register message handlers and start timers.  Idempotent guard."""
+        if self._started:
+            raise RuntimeError(f"agent {self.name}@{self.node_id} already started")
+        self._started = True
+        self.transport.register(self.node_id, KIND_HELP, self._on_help)
+        self.transport.register(self.node_id, KIND_PLEDGE, self._on_pledge)
+        self.transport.register(self.node_id, KIND_ADV, self._on_adv)
+        self._start_protocol()
+
+    def stop(self) -> None:
+        """Tear down timers (node crash / end of run)."""
+        self._stop_protocol()
+        self._started = False
+
+    # Hooks for subclasses ---------------------------------------------------
+
+    @abc.abstractmethod
+    def _start_protocol(self) -> None:
+        """Install timers / monitor listeners."""
+
+    def _stop_protocol(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def notify_task_arrival(self, task: Task) -> None:
+        """Pull-side trigger; default no-op (push protocols ignore it)."""
+
+    # Message handlers (default: ignore) -----------------------------------
+
+    def _on_help(self, delivery: Delivery) -> None:  # pragma: no cover
+        pass
+
+    def _on_pledge(self, delivery: Delivery) -> None:  # pragma: no cover
+        pass
+
+    def _on_adv(self, delivery: Delivery) -> None:
+        """Baselines share one ADV handler: update the view."""
+        adv = delivery.payload
+        self.view.update(
+            adv.origin, adv.availability, adv.usage, adv.available, adv.sent_at
+        )
+
+    # Candidate selection -----------------------------------------------------
+
+    def candidates(self, task: Task, *, exclude: tuple = (), limit: int = 8) -> List[int]:
+        """Ranked migration targets believed able to host ``task``."""
+        entries = self.view.candidates(
+            self.sim.now,
+            min_availability=task.size,
+            exclude=exclude,
+            limit=limit,
+        )
+        return [e.node for e in entries]
+
+    # Shared helpers ------------------------------------------------------------
+
+    @property
+    def safe(self) -> bool:
+        """Whether this node may advertise/pledge (not compromised)."""
+        return self.ctx.is_safe()
+
+    def flood(self, kind: str, payload: object) -> List[int]:
+        """Disseminate within the configured scope (see ``ProtocolConfig.scope``)."""
+        return self.transport.flood(
+            self.node_id, kind, payload, neighbors_only=self.config.scope == "neighbors"
+        )
+
+    def prime_view(self, hosts: Dict[int, Host]) -> None:
+        """Install perfect information at t=0, within the protocol scope.
+
+        All nodes start idle and mutually known; priming removes the
+        cold-start artifact from protocol comparisons (all five protocols
+        are primed identically by the runner).  Under neighbour scope
+        only neighbours are primed — the protocol could never learn about
+        anyone else, and stale never-refreshed beliefs about distant
+        nodes would poison candidate ranking.
+        """
+        if self.config.scope == "neighbors":
+            in_scope = set(self.transport.topo.neighbors(self.node_id))
+        else:
+            in_scope = {nid for nid in hosts if nid != self.node_id}
+        for nid in sorted(in_scope):
+            host = hosts[nid]
+            self.view.update(
+                nid, host.availability(), host.usage(), host.is_available(), self.sim.now
+            )
+
+    def usage_with(self, task: Task) -> float:
+        """Queue usage *as if* ``task`` were admitted — Algorithm H's
+        "if resource usage would exceed a threshold level" test includes
+        the arriving task ("the queue including the new task")."""
+        backlog = self.host.queue.backlog() + task.size
+        return backlog / self.host.queue.capacity
+
+    def would_exceed_threshold(self, task: Task) -> bool:
+        return self.usage_with(task) > self.config.threshold
+
+    # Introspection ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Protocol-specific diagnostics (overridden where meaningful)."""
+        return {"view_size": float(len(self.view))}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} node={self.node_id}>"

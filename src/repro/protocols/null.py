@@ -1,0 +1,33 @@
+"""The no-discovery baseline.
+
+A node running :class:`NullAgent` never communicates and never learns
+anything: tasks that do not fit locally are simply rejected.  This is
+the floor every discovery protocol must clear — the difference between
+the null curve and any other protocol's curve is the total value of
+migration itself, separating "does discovery quality matter?" (Figure 5,
+small differences) from "does migration matter at all?" (large).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..node.task import Task
+from .base import DiscoveryAgent
+
+__all__ = ["NullAgent"]
+
+
+class NullAgent(DiscoveryAgent):
+    """No messages, no view, no candidates."""
+
+    name = "none"
+
+    def _start_protocol(self) -> None:
+        pass
+
+    def prime_view(self, hosts) -> None:
+        """Knows nothing, even at t=0."""
+
+    def candidates(self, task: Task, *, exclude: tuple = (), limit: int = 8) -> List[int]:
+        return []

@@ -1,0 +1,66 @@
+"""Pure PUSH baseline (the ``Push-1`` curve).
+
+"Each host disseminates its own resource availability information to its
+neighbors unconditionally at every preset interval.  In comparison to
+REALTOR, there is only periodic PLEDGE message without HELP."
+
+Implementation: a periodic timer per node floods an
+:class:`~repro.core.messages.Advertisement` every ``push_interval``
+seconds (1 s for the figures).  The communication pattern is independent
+of load — that is exactly why Figure 6 shows a flat, dominating overhead
+("wastes too much communication bandwidth" under light load).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.messages import KIND_ADV, Advertisement
+from ..sim.kernel import PeriodicTimer
+from .base import DiscoveryAgent, ProtocolContext
+
+__all__ = ["PurePushAgent"]
+
+
+class PurePushAgent(DiscoveryAgent):
+    """Periodic unconditional flooding of local state."""
+
+    name = "push-1"
+
+    def __init__(self, ctx: ProtocolContext) -> None:
+        super().__init__(ctx)
+        self._timer: Optional[PeriodicTimer] = None
+        self.advertisements_sent = 0
+
+    def _start_protocol(self) -> None:
+        # Phase-stagger the periodic floods by node id so all 25 floods do
+        # not land on the same instant (the paper's hosts are likewise
+        # unsynchronised).  The offset is deterministic.
+        n = max(len(self.ctx.all_nodes), 1)
+        phase = (self.node_id % n) / n * self.config.push_interval
+        self._timer = self.sim.periodic(
+            self.config.push_interval, self._advertise, phase=phase
+        )
+
+    def _stop_protocol(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    def _advertise(self) -> None:
+        if not self.safe:
+            return
+        adv = Advertisement(
+            origin=self.node_id,
+            availability=self.host.availability(),
+            usage=self.host.usage(),
+            available=self.host.is_available(),
+            sent_at=self.sim.now,
+        )
+        self.advertisements_sent += 1
+        self.flood(KIND_ADV, adv)
+
+    def stats(self) -> Dict[str, float]:
+        base = super().stats()
+        base["advertisements"] = float(self.advertisements_sent)
+        return base

@@ -1,0 +1,95 @@
+"""Protocol registry — name → agent factory.
+
+Experiments select protocols by the curve names used in the paper's
+figures.  Aliases map both taxonomy names ("pure-push") and curve labels
+("push-1") to the same factory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.realtor import RealtorAgent
+from .adaptive_pull import AdaptivePullAgent
+from .adaptive_push import AdaptivePushAgent
+from .base import DiscoveryAgent, ProtocolContext
+from .pure_pull import PurePullAgent
+from .pure_push import PurePushAgent
+
+__all__ = ["make_agent", "protocol_names", "PAPER_PROTOCOLS", "register_protocol"]
+
+Factory = Callable[[ProtocolContext], DiscoveryAgent]
+
+_REGISTRY: Dict[str, Factory] = {}
+_CANONICAL: Dict[str, str] = {}
+
+#: the five curves of Figures 5-8, in the paper's legend order
+PAPER_PROTOCOLS: List[str] = ["pull-.9", "push-1", "push-.9", "pull-100", "realtor"]
+
+
+def register_protocol(canonical: str, factory: Factory, *aliases: str) -> None:
+    """Register a protocol factory under its canonical name and aliases."""
+    key = canonical.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"protocol already registered: {canonical}")
+    _REGISTRY[key] = factory
+    _CANONICAL[key] = key
+    for alias in aliases:
+        a = alias.lower()
+        if a in _CANONICAL:
+            raise ValueError(f"alias already registered: {alias}")
+        _CANONICAL[a] = key
+
+
+register_protocol("pull-.9", PurePullAgent, "pure-pull", "pull")
+register_protocol("push-1", PurePushAgent, "pure-push", "push")
+register_protocol("push-.9", AdaptivePushAgent, "adaptive-push")
+register_protocol("pull-100", AdaptivePullAgent, "adaptive-pull")
+register_protocol(
+    "pull-100-fixed",
+    lambda ctx: AdaptivePullAgent(ctx, fixed_window=True),
+    "adaptive-pull-fixed",
+)
+register_protocol("realtor", RealtorAgent, "realtor-100")
+
+
+def _register_extras() -> None:
+    """Baselines beyond the paper: no-discovery floor and modern gossip."""
+    from .gossip import GossipAgent
+    from .null import NullAgent
+
+    register_protocol("none", NullAgent, "null", "no-migration")
+    register_protocol("gossip", GossipAgent, "anti-entropy", "swim-like")
+    register_protocol("gossip-5", lambda ctx: GossipAgent(ctx, interval=5.0))
+
+
+_register_extras()
+
+
+def _register_hierarchical() -> None:
+    """Section 7 extension: inter-community discovery at two group sizes.
+
+    Imported lazily to avoid a cycle (hierarchy imports RealtorAgent).
+    """
+    from ..core.hierarchy import make_hierarchical_factory
+
+    register_protocol("realtor-hier", make_hierarchical_factory(9), "hierarchical")
+    register_protocol("realtor-hier-25", make_hierarchical_factory(25))
+
+
+_register_hierarchical()
+
+
+def make_agent(name: str, ctx: ProtocolContext) -> DiscoveryAgent:
+    """Instantiate the protocol ``name`` (canonical or alias) for ``ctx``."""
+    key = _CANONICAL.get(name.lower())
+    if key is None:
+        raise KeyError(
+            f"unknown protocol {name!r}; known: {sorted(_CANONICAL)}"
+        )
+    return _REGISTRY[key](ctx)
+
+
+def protocol_names() -> List[str]:
+    """All canonical protocol names."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,143 @@
+"""The per-node resource view.
+
+Every discovery agent maintains a *view*: its (possibly stale) belief
+about other nodes' availability, fed exclusively by the messages its
+protocol actually delivered.  Candidate selection for migration reads
+only this view — never ground truth — which is precisely what makes the
+push/pull timeliness trade-off of Figure 8 observable: "in pull-based
+approach, information is collected before migration request rises, the
+information can be out-of-dated rather easily."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["ViewEntry", "ResourceView"]
+
+
+@dataclass
+class ViewEntry:
+    """Belief about one remote node."""
+
+    node: int
+    availability: float      # believed queue headroom in seconds
+    usage: float             # believed usage fraction
+    available: bool          # believed below-threshold flag
+    timestamp: float         # when the information was generated
+
+    def staleness(self, now: float) -> float:
+        return max(0.0, now - self.timestamp)
+
+
+class ResourceView:
+    """Belief store with freshness-aware candidate ranking.
+
+    Parameters
+    ----------
+    owner:
+        The node this view belongs to (never a candidate for itself).
+    ttl:
+        Optional hard expiry in seconds; entries older than this are
+        ignored by :meth:`candidates`.  ``None`` (paper behaviour) keeps
+        beliefs until overwritten.
+    """
+
+    def __init__(self, owner: int, ttl: Optional[float] = None) -> None:
+        self.owner = owner
+        self.ttl = ttl
+        self._entries: Dict[int, ViewEntry] = {}
+        self.updates = 0
+
+    # Updates ---------------------------------------------------------------
+
+    def update(
+        self,
+        node: int,
+        availability: float,
+        usage: float,
+        available: bool,
+        timestamp: float,
+    ) -> None:
+        """Install newer information (older timestamps never overwrite)."""
+        if node == self.owner:
+            return
+        cur = self._entries.get(node)
+        if cur is not None and cur.timestamp > timestamp:
+            return
+        self._entries[node] = ViewEntry(node, availability, usage, available, timestamp)
+        self.updates += 1
+
+    def forget(self, node: int) -> None:
+        self._entries.pop(node, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # Queries ------------------------------------------------------------------
+
+    def get(self, node: int) -> Optional[ViewEntry]:
+        return self._entries.get(node)
+
+    def known_nodes(self) -> List[int]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._entries
+
+    def fresh_entries(self, now: float) -> List[ViewEntry]:
+        """Entries within TTL (all entries when TTL is None)."""
+        if self.ttl is None:
+            return list(self._entries.values())
+        return [e for e in self._entries.values() if e.staleness(now) <= self.ttl]
+
+    def candidates(
+        self,
+        now: float,
+        *,
+        min_availability: float = 0.0,
+        exclude: Iterable[int] = (),
+        limit: Optional[int] = None,
+    ) -> List[ViewEntry]:
+        """Ranked candidate hosts for a migration.
+
+        Ranking: believed-available first, then most headroom, then
+        freshest, then lowest node id (determinism).  ``min_availability``
+        filters out nodes believed unable to fit the task.
+        """
+        banned = set(exclude)
+        banned.add(self.owner)
+        pool = [
+            e
+            for e in self.fresh_entries(now)
+            if e.node not in banned
+            and e.available
+            and e.availability >= min_availability
+        ]
+        pool.sort(key=lambda e: (-e.availability, -e.timestamp, e.node))
+        if limit is not None:
+            pool = pool[:limit]
+        return pool
+
+    def best(
+        self,
+        now: float,
+        *,
+        min_availability: float = 0.0,
+        exclude: Iterable[int] = (),
+    ) -> Optional[ViewEntry]:
+        """The single best candidate (the paper's one-shot target)."""
+        ranked = self.candidates(
+            now, min_availability=min_availability, exclude=exclude, limit=1
+        )
+        return ranked[0] if ranked else None
+
+    def mean_staleness(self, now: float) -> float:
+        """Average information age — the timeliness diagnostic of Fig 8."""
+        if not self._entries:
+            return 0.0
+        return sum(e.staleness(now) for e in self._entries.values()) / len(self._entries)

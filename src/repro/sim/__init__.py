@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel (clock, agenda, RNG streams, tracing)."""
+
+from .events import Event, EventQueue, Priority
+from .kernel import PeriodicTimer, SimulationError, Simulator
+from .rng import RandomStreams, derive_seed
+from .trace import Tracer, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Priority",
+    "PeriodicTimer",
+    "SimulationError",
+    "Simulator",
+    "RandomStreams",
+    "derive_seed",
+    "Tracer",
+    "TraceRecord",
+]

@@ -1,0 +1,190 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel (:mod:`repro.sim.kernel`) operates on a binary-heap agenda of
+:class:`Event` records.  Events are ordered by ``(time, priority, seq)``:
+
+* ``time`` — simulated seconds (float, monotonically non-decreasing),
+* ``priority`` — tie-breaker between events scheduled for the same instant
+  (lower fires first); protocol code uses this to guarantee, e.g., that a
+  resource-state update is visible before a message that reads it,
+* ``seq`` — global insertion order, making execution fully deterministic
+  even for identical ``(time, priority)`` pairs.
+
+Cancellation is O(1) lazy: :meth:`Event.cancel` flips a flag and the kernel
+skips the record when it is popped.  This is the standard approach for
+simulations with many timer resets (REALTOR resets HELP timers constantly)
+because it avoids O(n) heap surgery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventQueue", "Priority"]
+
+
+class Priority:
+    """Symbolic intra-timestamp ordering classes.
+
+    Lower values fire first.  The bands are deliberately sparse so callers
+    can slot custom priorities in between without renumbering.
+    """
+
+    #: State mutations (queue drains, resource releases) happen first so
+    #: that any message handler at the same instant observes fresh state.
+    STATE = 0
+    #: Message deliveries and protocol handlers.
+    MESSAGE = 10
+    #: Workload arrivals — a task arriving at time *t* sees all messages
+    #: delivered at *t*.
+    ARRIVAL = 20
+    #: Periodic bookkeeping (metric sampling, trace flushes) runs last.
+    SAMPLING = 90
+
+    DEFAULT = MESSAGE
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`EventQueue.schedule` (or the kernel's
+    ``at``/``after`` helpers) and should not be constructed directly.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self._cancelled = False
+
+    # Heap ordering ---------------------------------------------------
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    # API ---------------------------------------------------------------
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent, O(1))."""
+        self._cancelled = True
+        # Drop references eagerly; a cancelled timer may otherwise pin a
+        # whole host object graph until the heap entry is popped.
+        self.fn = _noop
+        self.args = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.6g} p={self.priority} {name} [{state}]>"
+
+
+def _noop(*_args: Any) -> None:
+    """Replacement callable for cancelled events."""
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`Event` records.
+
+    A thin wrapper around :mod:`heapq` that owns the global sequence
+    counter.  Separated from the kernel so it can be unit- and
+    property-tested in isolation.
+    """
+
+    __slots__ = ("_heap", "_counter", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.DEFAULT,
+    ) -> Event:
+        """Insert a callback at absolute simulated ``time``.
+
+        Returns the :class:`Event` handle, which the caller may
+        :meth:`~Event.cancel`.
+        """
+        if time != time or time == float("inf"):  # NaN / inf guard
+            raise ValueError(f"non-finite event time: {time!r}")
+        import heapq
+
+        ev = Event(time, priority, next(self._counter), fn, tuple(args))
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Cancelled records encountered on the way are discarded.
+        """
+        import heapq
+
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if ev._cancelled:
+                continue
+            self._live -= 1
+            return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event without removing it."""
+        import heapq
+
+        heap = self._heap
+        while heap:
+            if heap[0]._cancelled:
+                heapq.heappop(heap)
+                continue
+            return heap[0].time
+        return None
+
+    def note_cancelled(self) -> None:
+        """Account for an externally cancelled event.
+
+        :meth:`Event.cancel` does not know its queue; kernels that want an
+        exact live count call this once per cancellation.  The count is
+        advisory (used for ``len``), popping remains correct regardless.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

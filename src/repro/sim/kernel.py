@@ -1,0 +1,233 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the clock, the event agenda, the random streams and
+an optional trace sink.  Components interact with it through a small
+surface:
+
+* ``sim.now`` — current simulated time (seconds),
+* ``sim.at(t, fn, *args)`` / ``sim.after(dt, fn, *args)`` — schedule,
+* ``sim.periodic(interval, fn)`` — self-rescheduling timer,
+* ``sim.run(until=...)`` — drive the agenda.
+
+The kernel is strictly sequential and deterministic: two runs with the same
+seed and the same component construction order produce bit-identical event
+sequences.  That property underpins the common-random-numbers comparison
+methodology used by the figure experiments and is asserted by property
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from .events import Event, EventQueue, Priority
+from .rng import RandomStreams
+from .trace import Tracer
+
+__all__ = ["Simulator", "PeriodicTimer", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, re-running, …)."""
+
+
+class PeriodicTimer:
+    """A self-rescheduling timer created by :meth:`Simulator.periodic`.
+
+    The callback runs every ``interval`` seconds until :meth:`stop` is
+    called or the simulation horizon is reached.  The interval may be
+    changed between firings via :attr:`interval` (used by adaptive
+    protocols).
+    """
+
+    __slots__ = (
+        "sim", "fn", "interval", "_event", "_stopped", "jitter_rng", "jitter",
+        "priority",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        fn: Callable[[], Any],
+        *,
+        phase: float = 0.0,
+        jitter: float = 0.0,
+        jitter_stream: Optional[str] = None,
+        priority: int = Priority.DEFAULT,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.fn = fn
+        self.interval = float(interval)
+        self.jitter = float(jitter)
+        self.jitter_rng = sim.streams.stream(jitter_stream) if jitter_stream else None
+        self.priority = priority
+        self._stopped = False
+        self._event: Optional[Event] = sim.after(
+            phase + self._next_gap(), self._fire, priority=priority
+        )
+
+    def _next_gap(self) -> float:
+        gap = self.interval
+        if self.jitter > 0.0 and self.jitter_rng is not None:
+            gap += float(self.jitter_rng.uniform(-self.jitter, self.jitter))
+            gap = max(gap, 1e-9)
+        return gap
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.fn()
+        if not self._stopped:
+            self._event = self.sim.after(
+                self._next_gap(), self._fire, priority=self.priority
+            )
+
+    def stop(self) -> None:
+        """Cancel the timer; the callback never fires again."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+
+class Simulator:
+    """Sequential discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for :class:`~repro.sim.rng.RandomStreams`.
+    trace:
+        Optional :class:`~repro.sim.trace.Tracer`; when omitted a disabled
+        tracer is installed so call sites never need ``if trace`` guards.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[Tracer] = None) -> None:
+        self.queue = EventQueue()
+        self.streams = RandomStreams(seed)
+        self.trace = trace if trace is not None else Tracer(enabled=False)
+        self._now = 0.0
+        self._running = False
+        self._stop_requested = False
+        self._events_executed = 0
+        self._finalizers: List[Callable[[], None]] = []
+
+    # Clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events fired so far (diagnostic)."""
+        return self._events_executed
+
+    # Scheduling --------------------------------------------------------
+
+    def at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.DEFAULT,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6g}, clock already at {self._now:.6g}"
+            )
+        return self.queue.schedule(time, fn, *args, priority=priority)
+
+    def after(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.DEFAULT,
+    ) -> Event:
+        """Schedule ``fn(*args)`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self.queue.schedule(self._now + delay, fn, *args, priority=priority)
+
+    def periodic(
+        self,
+        interval: float,
+        fn: Callable[[], Any],
+        *,
+        phase: float = 0.0,
+        jitter: float = 0.0,
+        jitter_stream: Optional[str] = None,
+        priority: int = Priority.DEFAULT,
+    ) -> PeriodicTimer:
+        """Install a :class:`PeriodicTimer` firing every ``interval`` s."""
+        return PeriodicTimer(
+            self,
+            interval,
+            fn,
+            phase=phase,
+            jitter=jitter,
+            jitter_stream=jitter_stream,
+            priority=priority,
+        )
+
+    def add_finalizer(self, fn: Callable[[], None]) -> None:
+        """Register a callback that runs once when :meth:`run` returns."""
+        self._finalizers.append(fn)
+
+    # Execution ----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Execute events until the agenda is empty or ``until`` is reached.
+
+        The clock is left at ``until`` (if given) even when the agenda
+        drains early, so post-run metric normalisation by horizon is exact.
+        Returns the final clock value.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        if until is not None and until < self._now:
+            raise SimulationError("until lies in the past")
+        self._running = True
+        self._stop_requested = False
+        budget = max_events if max_events is not None else float("inf")
+        try:
+            while budget > 0 and not self._stop_requested:
+                t = self.queue.peek_time()
+                if t is None:
+                    break
+                if until is not None and t > until:
+                    break
+                ev = self.queue.pop()
+                assert ev is not None
+                self._now = ev.time
+                ev.fn(*ev.args)
+                self._events_executed += 1
+                budget -= 1
+            if until is not None and self._now < until and not self._stop_requested:
+                self._now = until
+        finally:
+            self._running = False
+        for fn in self._finalizers:
+            fn()
+        self._finalizers.clear()
+        return self._now
+
+    def stop(self) -> None:
+        """Request :meth:`run` to return after the current event."""
+        self._stop_requested = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Simulator t={self._now:.6g} pending={len(self.queue)} "
+            f"executed={self._events_executed}>"
+        )

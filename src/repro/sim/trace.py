@@ -1,0 +1,119 @@
+"""Structured event tracing.
+
+A :class:`Tracer` records ``(time, category, payload)`` tuples.  It is off
+by default (zero overhead beyond one attribute check) and is used by tests
+to assert protocol behaviour ("a PLEDGE followed every HELP while below
+threshold") and by examples to print simulation narratives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Tracer", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    category: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+
+class Tracer:
+    """Append-only trace sink with category filtering.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` every :meth:`emit` is a no-op.
+    categories:
+        When given, only these categories are recorded.
+    limit:
+        Hard cap on stored records (oldest kept); protects long benchmark
+        runs from unbounded memory growth if someone leaves tracing on.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Optional[set] = None,
+        limit: int = 1_000_000,
+    ) -> None:
+        self.enabled = enabled
+        self.categories = set(categories) if categories else None
+        self.limit = int(limit)
+        self.records: List[TraceRecord] = []
+        self._sinks: List[Callable[[TraceRecord], None]] = []
+        self.dropped = 0
+
+    def emit(self, time: float, category: str, **payload: Any) -> None:
+        """Record an occurrence (cheap no-op when disabled/filtered)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        rec = TraceRecord(time, category, payload)
+        if len(self.records) < self.limit:
+            self.records.append(rec)
+        else:
+            self.dropped += 1
+        for sink in self._sinks:
+            sink(rec)
+
+    def add_sink(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Stream records to ``fn`` as they are emitted (e.g. ``print``)."""
+        self._sinks.append(fn)
+
+    # Query helpers -----------------------------------------------------
+
+    def select(self, category: str, **match: Any) -> List[TraceRecord]:
+        """Records of ``category`` whose payload matches all ``match`` kwargs."""
+        out = []
+        for rec in self.records:
+            if rec.category != category:
+                continue
+            if all(rec.payload.get(k) == v for k, v in match.items()):
+                out.append(rec)
+        return out
+
+    def count(self, category: str, **match: Any) -> int:
+        return len(self.select(category, **match))
+
+    def categories_seen(self) -> Dict[str, int]:
+        """Histogram of categories recorded so far."""
+        hist: Dict[str, int] = {}
+        for rec in self.records:
+            hist[rec.category] = hist.get(rec.category, 0) + 1
+        return hist
+
+    def between(self, t0: float, t1: float) -> Iterator[TraceRecord]:
+        """Records with ``t0 <= time < t1`` in emission order."""
+        return (r for r in self.records if t0 <= r.time < t1)
+
+    def pairs(self, first: str, second: str) -> List[Tuple[TraceRecord, TraceRecord]]:
+        """Greedy in-order pairing of ``first`` records with later ``second`` s.
+
+        Used by protocol tests to check request/response causality.
+        """
+        out: List[Tuple[TraceRecord, TraceRecord]] = []
+        pending: List[TraceRecord] = []
+        for rec in self.records:
+            if rec.category == first:
+                pending.append(rec)
+            elif rec.category == second and pending:
+                out.append((pending.pop(0), rec))
+        return out
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,40 @@
+"""Workload: arrival processes, size samplers, attacks, churn."""
+
+from .arrivals import (
+    ArrivalGenerator,
+    ArrivalProcess,
+    DeterministicArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from .attack import AttackPlan, RandomFailures, RegionAttack, SweepAttack
+from .churn import ChurnEvent, ChurnSchedule, poisson_churn
+from .sizes import (
+    BoundedParetoSizes,
+    ExponentialSizes,
+    FixedSizes,
+    SizeSampler,
+    UniformSizes,
+    make_sampler,
+)
+
+__all__ = [
+    "ArrivalGenerator",
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "AttackPlan",
+    "RandomFailures",
+    "RegionAttack",
+    "SweepAttack",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "poisson_churn",
+    "BoundedParetoSizes",
+    "ExponentialSizes",
+    "FixedSizes",
+    "SizeSampler",
+    "UniformSizes",
+    "make_sampler",
+]

@@ -1,0 +1,170 @@
+"""Arrival processes.
+
+The paper: "The task arrival forms a Poisson process with a rate of
+lambda" and "the generated task is given to a node randomly selected
+from Node 0 through Node 24".  :class:`PoissonArrivals` reproduces this;
+deterministic and trace-driven processes support tests and what-if
+studies.
+
+An arrival process is a pull-style iterator over ``(time, node)`` pairs
+driven by the generator component, which re-schedules itself through the
+kernel — one event per arrival, no batch pre-generation, so horizons and
+rates can be changed mid-run (the attack scenarios do).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.events import Priority
+from ..sim.kernel import Simulator
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "TraceArrivals",
+    "ArrivalGenerator",
+]
+
+
+class ArrivalProcess(abc.ABC):
+    """Produces inter-arrival gaps and origin nodes."""
+
+    @abc.abstractmethod
+    def next_gap(self) -> float:
+        """Seconds until the next arrival (> 0)."""
+
+    @abc.abstractmethod
+    def next_origin(self, live_nodes: Sequence[int]) -> Optional[int]:
+        """Node the arrival lands on, drawn from ``live_nodes``; ``None``
+        drops the arrival (no live node)."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Poisson process at ``rate`` tasks/s, uniform random origin."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+        self.rng = rng
+
+    def next_gap(self) -> float:
+        return float(self.rng.exponential(1.0 / self.rate))
+
+    def next_origin(self, live_nodes: Sequence[int]) -> Optional[int]:
+        if not live_nodes:
+            return None
+        return int(live_nodes[int(self.rng.integers(len(live_nodes)))])
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Fixed-gap arrivals cycling round-robin over live nodes (tests)."""
+
+    def __init__(self, gap: float) -> None:
+        if gap <= 0:
+            raise ValueError("gap must be positive")
+        self.gap = float(gap)
+        self._i = 0
+
+    def next_gap(self) -> float:
+        return self.gap
+
+    def next_origin(self, live_nodes: Sequence[int]) -> Optional[int]:
+        if not live_nodes:
+            return None
+        node = live_nodes[self._i % len(live_nodes)]
+        self._i += 1
+        return int(node)
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay an explicit ``[(gap, origin), ...]`` trace.
+
+    Origins outside the live set are redirected to the nearest live id
+    (deterministic), mirroring how an external client would re-resolve a
+    dead endpoint.
+    """
+
+    def __init__(self, trace: Sequence[Tuple[float, int]]) -> None:
+        if not trace:
+            raise ValueError("empty trace")
+        for gap, _ in trace:
+            if gap <= 0:
+                raise ValueError("trace gaps must be positive")
+        self._trace: Iterator[Tuple[float, int]] = iter(list(trace))
+        self._pending_origin: Optional[int] = None
+        self.exhausted = False
+
+    def next_gap(self) -> float:
+        try:
+            gap, origin = next(self._trace)
+        except StopIteration:
+            self.exhausted = True
+            return float("inf")
+        self._pending_origin = origin
+        return gap
+
+    def next_origin(self, live_nodes: Sequence[int]) -> Optional[int]:
+        if self._pending_origin is None or not live_nodes:
+            return None
+        want = self._pending_origin
+        if want in live_nodes:
+            return want
+        return min(live_nodes, key=lambda n: (abs(n - want), n))
+
+
+class ArrivalGenerator:
+    """Kernel-driven arrival pump.
+
+    Each firing draws a gap from the process, asks for an origin among
+    live nodes, builds nothing itself — it hands ``(origin)`` to the
+    ``emit`` callback (the runner constructs the task and routes it to
+    the coordinator).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        process: ArrivalProcess,
+        emit: Callable[[int], None],
+        live_nodes: Callable[[], List[int]],
+        *,
+        until: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.process = process
+        self.emit = emit
+        self.live_nodes = live_nodes
+        self.until = until
+        self.generated = 0
+        self.dropped_no_live_node = 0
+        self._stopped = False
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self.process.next_gap()
+        if gap == float("inf"):
+            return  # trace exhausted
+        t = self.sim.now + gap
+        if self.until is not None and t > self.until:
+            return
+        self.sim.at(t, self._fire, priority=Priority.ARRIVAL)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        origin = self.process.next_origin(self.live_nodes())
+        if origin is None:
+            self.dropped_no_live_node += 1
+        else:
+            self.generated += 1
+            self.emit(origin)
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._stopped = True

@@ -1,0 +1,162 @@
+"""Attack injection — the survivability workload.
+
+The paper motivates REALTOR with "emergencies like external attack,
+malfunction, or lack of resources": nodes come under attack, their
+resources become unavailable, and resident components must migrate to
+safe locations.  The injector produces timed compromise/recover (and
+crash) transitions against the fault manager:
+
+* :class:`SweepAttack` — an attacker walks the network, compromising one
+  node at a time for a dwell period (localised external attack);
+* :class:`RegionAttack` — all nodes within a hop radius of a target go
+  down simultaneously (e.g. a subnet-level DoS);
+* :class:`RandomFailures` — memoryless crash/recover churn (malfunction
+  rather than attack).
+
+Every schedule is computed up front from a seeded stream, so attack runs
+are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..network.faults import FaultManager
+from ..network.routing import Router
+
+__all__ = ["SweepAttack", "RegionAttack", "RandomFailures", "AttackPlan"]
+
+
+@dataclass(frozen=True)
+class AttackPlan:
+    """A materialised schedule of (time, action, node) transitions."""
+
+    transitions: Tuple[Tuple[float, str, int], ...]  # action: compromise|recover|crash
+
+    def install(self, faults: FaultManager) -> None:
+        """Schedule every transition on the fault manager's kernel."""
+        for time, action, node in self.transitions:
+            if action == "compromise":
+                faults.schedule_compromise(time, node)
+            elif action == "recover":
+                faults.schedule_recover(time, node)
+            elif action == "crash":
+                faults.schedule_crash(time, node)
+            else:
+                raise ValueError(f"unknown action: {action}")
+
+    @property
+    def nodes_touched(self) -> List[int]:
+        return sorted({n for _, _, n in self.transitions})
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+
+class SweepAttack:
+    """Attacker compromises one node at a time, moving every ``dwell`` s.
+
+    The victim order is a seeded random permutation (an attacker probing
+    for the critical component — exactly the adversary location-elusive
+    migration is designed to defeat).
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[int],
+        *,
+        start: float,
+        dwell: float,
+        victims: int,
+        rng: np.random.Generator,
+        recover: bool = True,
+    ) -> None:
+        if dwell <= 0 or victims < 1:
+            raise ValueError("need dwell > 0 and victims >= 1")
+        if victims > len(nodes):
+            raise ValueError("more victims than nodes")
+        self.start = start
+        self.dwell = dwell
+        order = list(rng.permutation(list(nodes))[:victims])
+        self.victims = [int(v) for v in order]
+        self.recover = recover
+
+    def plan(self) -> AttackPlan:
+        transitions: List[Tuple[float, str, int]] = []
+        t = self.start
+        for victim in self.victims:
+            transitions.append((t, "compromise", victim))
+            if self.recover:
+                transitions.append((t + self.dwell, "recover", victim))
+            t += self.dwell
+        return AttackPlan(tuple(transitions))
+
+
+class RegionAttack:
+    """Simultaneously take down every node within ``radius`` hops of the
+    epicentre for ``duration`` seconds."""
+
+    def __init__(
+        self,
+        router: Router,
+        epicentre: int,
+        *,
+        radius: int,
+        start: float,
+        duration: float,
+    ) -> None:
+        if radius < 0 or duration <= 0:
+            raise ValueError("need radius >= 0 and duration > 0")
+        self.start = start
+        self.duration = duration
+        self.victims = sorted(set(router.within(epicentre, radius)) | {epicentre})
+
+    def plan(self) -> AttackPlan:
+        transitions: List[Tuple[float, str, int]] = []
+        for victim in self.victims:
+            transitions.append((self.start, "compromise", victim))
+            transitions.append((self.start + self.duration, "recover", victim))
+        return AttackPlan(tuple(transitions))
+
+
+class RandomFailures:
+    """Memoryless crash/recover churn over the horizon.
+
+    Each node independently crashes at rate ``mtbf⁻¹`` and recovers after
+    an exponential repair time of mean ``mttr`` — classic availability
+    churn, stressing the protocols' statelessness claim.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[int],
+        *,
+        horizon: float,
+        mtbf: float,
+        mttr: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if mtbf <= 0 or mttr <= 0 or horizon <= 0:
+            raise ValueError("mtbf, mttr, horizon must be positive")
+        self.nodes = list(nodes)
+        self.horizon = horizon
+        self.mtbf = mtbf
+        self.mttr = mttr
+        self.rng = rng
+
+    def plan(self) -> AttackPlan:
+        transitions: List[Tuple[float, str, int]] = []
+        for node in self.nodes:
+            t = float(self.rng.exponential(self.mtbf))
+            while t < self.horizon:
+                transitions.append((t, "crash", int(node)))
+                repair = float(self.rng.exponential(self.mttr))
+                if t + repair >= self.horizon:
+                    break
+                transitions.append((t + repair, "recover", int(node)))
+                t = t + repair + float(self.rng.exponential(self.mtbf))
+        transitions.sort(key=lambda x: (x[0], x[2]))
+        return AttackPlan(tuple(transitions))

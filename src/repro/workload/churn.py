@@ -1,0 +1,104 @@
+"""Join/leave churn.
+
+"Nodes leave and join the system at any time, due to attacks and
+failures, or after recovery" — beyond faults, agile systems also grow:
+fresh hosts join the overlay and must be discovered purely through the
+protocol (no global restart).  :class:`ChurnSchedule` scripts node
+additions/removals against a running system; the runner wires the
+callbacks that actually build the per-node component stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.kernel import Simulator
+
+__all__ = ["ChurnEvent", "ChurnSchedule", "poisson_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    time: float
+    action: str  # "join" | "leave"
+    node: int
+    #: for joins: node ids to link the newcomer to
+    attach_to: Tuple[int, ...] = ()
+
+
+class ChurnSchedule:
+    """A scripted sequence of joins/leaves installed on the kernel."""
+
+    def __init__(self, events: Sequence[ChurnEvent]) -> None:
+        self.events = sorted(events, key=lambda e: (e.time, e.node))
+
+    def install(
+        self,
+        sim: Simulator,
+        on_join: Callable[[int, Tuple[int, ...]], None],
+        on_leave: Callable[[int], None],
+    ) -> None:
+        for ev in self.events:
+            if ev.action == "join":
+                sim.at(ev.time, on_join, ev.node, ev.attach_to)
+            elif ev.action == "leave":
+                sim.at(ev.time, on_leave, ev.node)
+            else:
+                raise ValueError(f"unknown churn action: {ev.action}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def joins(self) -> List[ChurnEvent]:
+        return [e for e in self.events if e.action == "join"]
+
+    @property
+    def leaves(self) -> List[ChurnEvent]:
+        return [e for e in self.events if e.action == "leave"]
+
+
+def poisson_churn(
+    existing_nodes: Sequence[int],
+    *,
+    horizon: float,
+    join_rate: float,
+    leave_rate: float,
+    rng: np.random.Generator,
+    attach_degree: int = 2,
+) -> ChurnSchedule:
+    """Random churn: joins at ``join_rate``/s attaching to ``attach_degree``
+    random existing nodes; leaves at ``leave_rate``/s picking a random
+    current node.  New ids continue past ``max(existing)``."""
+    if horizon <= 0 or join_rate < 0 or leave_rate < 0:
+        raise ValueError("invalid churn parameters")
+    if join_rate == 0 and leave_rate == 0:
+        return ChurnSchedule([])
+    events: List[ChurnEvent] = []
+    population = list(existing_nodes)
+    next_id = max(population) + 1 if population else 0
+    t = 0.0
+    total_rate = join_rate + leave_rate
+    while True:
+        t += float(rng.exponential(1.0 / total_rate))
+        if t >= horizon:
+            break
+        if float(rng.uniform()) < join_rate / total_rate:
+            k = min(attach_degree, len(population))
+            if k == 0:
+                continue
+            picks = rng.choice(len(population), size=k, replace=False)
+            attach = tuple(sorted(population[int(i)] for i in picks))
+            events.append(ChurnEvent(t, "join", next_id, attach))
+            population.append(next_id)
+            next_id += 1
+        else:
+            if len(population) <= 2:
+                continue  # keep a minimal system alive
+            idx = int(rng.integers(len(population)))
+            node = population.pop(idx)
+            events.append(ChurnEvent(t, "leave", node))
+    return ChurnSchedule(events)

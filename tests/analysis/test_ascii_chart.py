@@ -1,0 +1,70 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import MARKERS, render
+
+
+XS = [1.0, 2.0, 3.0, 4.0]
+SERIES = {"up": [0.1, 0.4, 0.7, 1.0], "down": [1.0, 0.7, 0.4, 0.1]}
+
+
+class TestRender:
+    def test_contains_markers_and_legend(self):
+        out = render(XS, SERIES)
+        assert "*" in out and "o" in out
+        assert "*=up" in out and "o=down" in out
+
+    def test_axis_labels(self):
+        out = render(XS, SERIES, x_label="lambda", y_label="P(admit)")
+        assert "(lambda)" in out
+        assert "y: P(admit)" in out
+        assert "1" in out  # axis extremes rendered
+
+    def test_title(self):
+        out = render(XS, SERIES, title="Figure 5")
+        assert out.splitlines()[0] == "Figure 5"
+
+    def test_dimensions(self):
+        out = render(XS, SERIES, width=40, height=8)
+        chart_rows = [l for l in out.splitlines() if l.endswith("|")]
+        assert len(chart_rows) == 8
+        assert all(len(l.split("|")[1]) == 40 for l in chart_rows)
+
+    def test_monotone_series_monotone_rows(self):
+        out = render(XS, {"up": SERIES["up"]}, width=40, height=10)
+        rows = [
+            i
+            for i, line in enumerate(out.splitlines())
+            if "*" in line and line.endswith("|")
+        ]
+        # increasing values appear on strictly rising rows left to right
+        cols = []
+        for line in out.splitlines():
+            if line.endswith("|") and "*" in line:
+                cols.append(line.index("*"))
+        assert cols == sorted(cols, reverse=True)
+
+    def test_y_bounds_override(self):
+        out = render(XS, {"up": SERIES["up"]}, y_min=0.0, y_max=2.0)
+        assert "2" in out.splitlines()[0] or "2" in out
+
+    def test_flat_series_no_crash(self):
+        out = render(XS, {"flat": [0.5] * 4})
+        assert "flat" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render([], {"a": []})
+        with pytest.raises(ValueError):
+            render(XS, {})
+        with pytest.raises(ValueError):
+            render(XS, {"short": [1.0]})
+        with pytest.raises(ValueError):
+            render(XS, SERIES, width=4)
+
+    def test_many_series_get_distinct_markers(self):
+        many = {f"s{i}": [float(i)] * 4 for i in range(6)}
+        out = render(XS, many)
+        for marker in MARKERS[:6]:
+            assert marker in out

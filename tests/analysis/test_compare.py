@@ -1,0 +1,67 @@
+"""Unit tests for paper-vs-measured comparisons."""
+
+from repro.analysis.compare import (
+    Comparison,
+    Expectation,
+    evaluate_all,
+    standard_expectations,
+)
+
+
+class TestExpectation:
+    def test_evaluate_pass(self):
+        exp = Expectation("FigX", "sum positive", lambda s, xs: sum(s["a"]) > 0)
+        out = exp.evaluate({"a": [1.0, 2.0]}, [1, 2])
+        assert out.matched
+        assert "MATCH" in str(out)
+
+    def test_evaluate_fail(self):
+        exp = Expectation("FigX", "always false", lambda s, xs: False)
+        out = exp.evaluate({}, [])
+        assert not out.matched
+        assert "DIVERGES" in str(out)
+
+    def test_exception_becomes_failure(self):
+        exp = Expectation("FigX", "missing key", lambda s, xs: s["nope"][0] > 0)
+        out = exp.evaluate({}, [1])
+        assert not out.matched
+        assert "error" in out.detail
+
+
+class TestStandardExpectations:
+    def flat_series(self):
+        xs = [5.0, 6.0, 7.0, 8.0]
+        return {
+            "Fig5": {p: [0.95, 0.94, 0.93, 0.92] for p in
+                     ("pull-.9", "push-1", "push-.9", "pull-100", "realtor")},
+            "Fig6": {
+                "push-1": [100.0, 100.0, 101.0, 100.0],
+                "pull-.9": [10.0, 20.0, 30.0, 40.0],
+                "realtor": [15.0, 25.0, 20.0, 18.0],
+                "pull-100": [8.0, 9.0, 7.0, 5.0],
+                "push-.9": [12.0, 14.0, 15.0, 15.0],
+            },
+            "Fig7": {"realtor": [5.0, 9.0, 7.0, 4.0]},
+            "Fig8": {
+                "pull-100": [0.02, 0.04, 0.03, 0.02],
+                "push-1": [0.05, 0.08, 0.09, 0.09],
+                "realtor": [0.06, 0.1, 0.11, 0.1],
+            },
+        }, {f: xs for f in ("Fig5", "Fig6", "Fig7", "Fig8")}
+
+    def test_all_match_on_paper_shaped_data(self):
+        series, xs = self.flat_series()
+        results = evaluate_all(standard_expectations(), series, xs)
+        assert all(r.matched for r in results), [str(r) for r in results]
+
+    def test_missing_figure_reported(self):
+        results = evaluate_all(standard_expectations(), {}, {})
+        assert all(not r.matched for r in results)
+        assert all("not run" in r.detail for r in results)
+
+    def test_diverging_data_detected(self):
+        series, xs = self.flat_series()
+        series["Fig6"]["push-1"] = [10.0, 200.0, 50.0, 400.0]  # not flat
+        results = evaluate_all(standard_expectations(), series, xs)
+        flat_check = [r for r in results if "flat" in r.claim][0]
+        assert not flat_check.matched

@@ -1,0 +1,96 @@
+"""Unit tests for curve analysis utilities."""
+
+import pytest
+
+from repro.analysis.curves import (
+    auc,
+    crossover,
+    is_monotone,
+    knee,
+    normalize,
+    peak,
+    relative_spread,
+)
+
+
+class TestPeak:
+    def test_finds_maximum(self):
+        assert peak([1, 2, 3, 4], [0.1, 0.9, 0.4, 0.2]) == (2.0, 0.9)
+
+    def test_first_occurrence_on_tie(self):
+        assert peak([1, 2, 3], [0.5, 0.9, 0.9])[0] == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            peak([], [])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            peak([1, 2], [1.0])
+
+
+class TestKnee:
+    def test_detects_degradation_start(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [1.0, 1.0, 0.99, 0.95, 0.8]
+        assert knee(xs, ys, drop=0.02) == 4.0
+
+    def test_flat_curve_has_no_knee(self):
+        assert knee([1, 2, 3], [1.0, 1.0, 1.0]) is None
+
+    def test_non_monotone_uses_running_max(self):
+        assert knee([1, 2, 3], [0.5, 1.0, 0.9], drop=0.05) == 3.0
+
+
+class TestCrossover:
+    def test_interpolated_crossing(self):
+        xs = [0.0, 1.0, 2.0]
+        a = [0.0, 1.0, 2.0]
+        b = [1.0, 1.0, 1.0]
+        assert crossover(xs, a, b) == pytest.approx(1.0)
+
+    def test_midpoint_interpolation(self):
+        xs = [0.0, 1.0]
+        assert crossover(xs, [0.0, 2.0], [1.0, 1.0]) == pytest.approx(0.5)
+
+    def test_no_crossing(self):
+        assert crossover([0, 1], [0.0, 0.5], [1.0, 1.0]) is None
+
+
+class TestMonotone:
+    def test_increasing(self):
+        assert is_monotone([1, 2, 3])
+        assert not is_monotone([1, 3, 2])
+
+    def test_decreasing(self):
+        assert is_monotone([3, 2, 1], increasing=False)
+
+    def test_tolerance_absorbs_noise(self):
+        assert is_monotone([1.0, 2.0, 1.95, 3.0], tolerance=0.1)
+        assert not is_monotone([1.0, 2.0, 1.5, 3.0], tolerance=0.1)
+
+
+class TestSpreadAndNormalize:
+    def test_relative_spread(self):
+        assert relative_spread([10.0, 10.0]) == 0.0
+        assert relative_spread([5.0, 10.0]) == pytest.approx(0.5)
+        assert relative_spread([0.0, 0.0]) == 0.0
+
+    def test_normalize(self):
+        out = normalize([2.0, 6.0], [4.0, 3.0])
+        assert out.tolist() == [0.5, 2.0]
+
+    def test_normalize_zero_reference(self):
+        assert normalize([5.0], [0.0]).tolist() == [0.0]
+
+    def test_normalize_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalize([1.0], [1.0, 2.0])
+
+
+class TestAuc:
+    def test_trapezoid(self):
+        assert auc([0.0, 1.0, 2.0], [0.0, 1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_constant(self):
+        assert auc([0.0, 2.0], [3.0, 3.0]) == pytest.approx(6.0)

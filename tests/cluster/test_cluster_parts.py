@@ -1,0 +1,146 @@
+"""Unit tests for Agile components, the RMI model and the cluster scheduler."""
+
+import pytest
+
+from repro.cluster.component import AgileComponent
+from repro.cluster.rmi import LanCostModel, LanParameters, RmiLayer
+from repro.cluster.scheduler import ClusterJobScheduler
+from repro.node.task import Task, TaskStatus
+from repro.sim.kernel import Simulator
+
+
+def component(size=5.0, utilization=0.0, deadline=None, state_bytes=1024):
+    task = Task(size=size, arrival_time=0.0, origin=0, relative_deadline=deadline)
+    return AgileComponent(task=task, state_bytes=state_bytes, utilization=utilization)
+
+
+class TestAgileComponent:
+    def test_name_unique(self):
+        assert component().name != component().name
+
+    def test_remaining_time(self):
+        c = component(size=10.0)
+        assert c.remaining_time(now=0.0, completion=None) == 10.0
+        assert c.remaining_time(now=4.0, completion=7.0) == 3.0
+        assert c.remaining_time(now=9.0, completion=7.0) == 0.0
+
+    def test_transfer_time(self):
+        c = component(state_bytes=1000)
+        assert c.transfer_time(500.0) == 2.0
+        with pytest.raises(ValueError):
+            c.transfer_time(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            component(utilization=1.5)
+        with pytest.raises(ValueError):
+            AgileComponent(Task(size=1.0, arrival_time=0.0, origin=0),
+                           state_bytes=-1)
+
+    def test_migration_counter(self):
+        c = component()
+        c.note_migration()
+        c.note_migration()
+        assert c.migrations == 2
+
+
+class TestLanModel:
+    def test_cost_model_multicast_is_one(self):
+        cm = LanCostModel()
+        assert cm.flood_cost_override == 1.0
+        assert cm.fixed_unicast_cost == 1.0
+
+    def test_rmi_call_latency(self):
+        rmi = RmiLayer(LanParameters(latency=0.001, rmi_overhead=0.01))
+        assert rmi.call_latency() == pytest.approx(0.012)
+        assert rmi.calls == 1
+
+    def test_transfer_latency_scales_with_bytes(self):
+        params = LanParameters(latency=0.0, rmi_overhead=0.0, bandwidth=1e6)
+        rmi = RmiLayer(params)
+        assert rmi.transfer_latency(1_000_000) == pytest.approx(1.0)
+        assert rmi.bytes_moved == 1_000_000
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LanParameters(bandwidth=0.0)
+
+    def test_negotiation_message_charge(self):
+        rmi = RmiLayer(LanParameters(tcp_exchange_messages=3.0))
+        assert rmi.negotiation_messages() == 3.0
+
+
+class TestClusterJobScheduler:
+    def test_register_runs_job(self):
+        sim = Simulator()
+        sched = ClusterJobScheduler(sim, host_id=0)
+        c = component(size=4.0, deadline=10.0)
+        sched.register(c)
+        sim.run(until=20.0)
+        assert c.task.status is TaskStatus.COMPLETED
+        assert c.task.completed_time == 4.0
+        assert sched.resident_components() == []
+
+    def test_cus_admission_enforced(self):
+        sim = Simulator()
+        sched = ClusterJobScheduler(sim, host_id=0, utilization_bound=0.5)
+        a = component(utilization=0.4)
+        b = component(utilization=0.3)
+        assert sched.can_admit(a)
+        sched.register(a)
+        assert not sched.can_admit(b)
+
+    def test_zero_utilization_always_admittable(self):
+        sim = Simulator()
+        sched = ClusterJobScheduler(sim, host_id=0, utilization_bound=0.5)
+        sched.register(component(utilization=0.5))
+        assert sched.can_admit(component(utilization=0.0))
+
+    def test_deregister_returns_remaining(self):
+        sim = Simulator()
+        sched = ClusterJobScheduler(sim, host_id=0)
+        blocker = component(size=5.0)
+        waiting = component(size=7.0)
+        sched.register(blocker)
+        sched.register(waiting)
+        sim.run(until=2.0)
+        remaining = sched.deregister(waiting)
+        assert remaining == pytest.approx(7.0)  # never started (EDF order)
+        assert len(sched.resident_components()) == 1
+
+    def test_duplicate_registration_rejected(self):
+        sim = Simulator()
+        sched = ClusterJobScheduler(sim, host_id=0)
+        c = component()
+        sched.register(c)
+        with pytest.raises(ValueError):
+            sched.register(c)
+
+    def test_deregister_unknown_rejected(self):
+        sched = ClusterJobScheduler(Simulator(), host_id=0)
+        with pytest.raises(KeyError):
+            sched.deregister(component())
+
+    def test_completion_releases_cus_share(self):
+        sim = Simulator()
+        sched = ClusterJobScheduler(sim, host_id=0, utilization_bound=0.5)
+        sched.register(component(size=1.0, utilization=0.5))
+        sim.run(until=5.0)
+        assert sched.cus.available == pytest.approx(0.5)
+
+    def test_deadline_miss_tracking(self):
+        sim = Simulator()
+        sched = ClusterJobScheduler(sim, host_id=0)
+        sched.register(component(size=10.0, deadline=2.0))
+        sim.run(until=20.0)
+        assert sched.miss_ratio() == 1.0
+
+    def test_registration_counters(self):
+        sim = Simulator()
+        sched = ClusterJobScheduler(sim, host_id=0)
+        a, b = component(size=2.0), component(size=3.0)
+        sched.register(a)
+        sched.register(b)
+        sched.deregister(b)
+        assert sched.registered_total == 2
+        assert sched.deregistered_total == 1

@@ -1,0 +1,81 @@
+"""Unit tests for the Agile Object naming service."""
+
+import pytest
+
+from repro.cluster.naming import NamingService
+from repro.sim.kernel import Simulator
+
+
+class TestInstantPropagation:
+    def test_register_lookup(self):
+        sim = Simulator()
+        ns = NamingService(sim)
+        ns.register("comp-1", 3)
+        assert ns.lookup("comp-1") == 3
+        assert ns.lookups == 1
+        assert len(ns) == 1
+
+    def test_relocation_updates_binding(self):
+        sim = Simulator()
+        ns = NamingService(sim)
+        ns.register("c", 1)
+        ns.register("c", 2)
+        assert ns.lookup("c") == 2
+        assert ns.true_location("c") == 2
+        assert ns.updates == 2
+
+    def test_missing_name(self):
+        ns = NamingService(Simulator())
+        assert ns.lookup("ghost") is None
+        assert ns.true_location("ghost") is None
+
+    def test_unregister(self):
+        sim = Simulator()
+        ns = NamingService(sim)
+        ns.register("c", 1)
+        ns.unregister("c")
+        assert ns.lookup("c") is None
+
+    def test_components_on_host(self):
+        sim = Simulator()
+        ns = NamingService(sim)
+        ns.register("a", 1)
+        ns.register("b", 1)
+        ns.register("c", 2)
+        assert ns.components_on(1) == ["a", "b"]
+
+    def test_bindings_sorted(self):
+        sim = Simulator()
+        ns = NamingService(sim)
+        ns.register("b", 2)
+        ns.register("a", 1)
+        assert ns.bindings() == [("a", 1), ("b", 2)]
+
+
+class TestDelayedPropagation:
+    def test_stale_lookup_during_propagation(self):
+        sim = Simulator()
+        ns = NamingService(sim, propagation_delay=1.0)
+        ns.register("c", 1)
+        sim.run(until=2.0)
+        assert ns.lookup("c") == 1
+        # move the component; visible binding lags
+        ns.register("c", 2)
+        assert ns.lookup("c") == 1          # stale (location elusiveness)
+        assert ns.stale_lookups == 1
+        sim.run(until=4.0)
+        assert ns.lookup("c") == 2
+        assert ns.staleness_rate == pytest.approx(1 / 3)
+
+    def test_out_of_order_publishes_keep_newest(self):
+        sim = Simulator()
+        ns = NamingService(sim, propagation_delay=1.0)
+        ns.register("c", 1)
+        sim.run(until=0.5)
+        ns.register("c", 2)
+        sim.run(until=5.0)
+        assert ns.lookup("c") == 2
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            NamingService(Simulator(), propagation_delay=-1.0)

@@ -1,0 +1,63 @@
+"""Tests for the 20-host testbed emulation (Figure 9 machinery)."""
+
+import pytest
+
+from repro.cluster.testbed import ClusterTestbed, TestbedParameters, run_testbed
+
+
+SHORT = TestbedParameters(horizon=300.0)
+
+
+class TestConstruction:
+    def test_grid_factorisation(self):
+        assert TestbedParameters(hosts=20).grid() == (4, 5)
+        assert TestbedParameters(hosts=16).grid() == (4, 4)
+        assert TestbedParameters(hosts=7).grid() == (1, 7)
+
+    def test_full_mesh_topology(self):
+        tb = ClusterTestbed(SHORT, arrival_rate=1.0)
+        assert tb.system.topo.num_nodes == 20
+        assert tb.system.topo.num_links == 20 * 19 // 2
+
+    def test_queue_capacity_is_50(self):
+        tb = ClusterTestbed(SHORT, arrival_rate=1.0)
+        assert all(h.queue.capacity == 50.0 for h in tb.system.hosts.values())
+
+    def test_lan_costs_wired(self):
+        tb = ClusterTestbed(SHORT, arrival_rate=1.0)
+        cm = tb.system.transport.cost_model
+        assert cm.flood_cost_override == 1.0
+        assert cm.fixed_unicast_cost == 1.0
+
+
+class TestExecution:
+    def test_light_load_admits_everything(self):
+        res = run_testbed(1.0, SHORT)
+        assert res.admission_probability == pytest.approx(1.0, abs=0.01)
+
+    def test_overload_degrades(self):
+        light = run_testbed(2.0, SHORT)
+        heavy = run_testbed(8.0, SHORT)
+        assert heavy.admission_probability < light.admission_probability - 0.05
+
+    def test_components_registered_with_naming(self):
+        tb = ClusterTestbed(SHORT, arrival_rate=2.0)
+        res = tb.run()
+        assert tb.naming.updates == res.admitted
+        assert res.extra["naming_updates"] == res.admitted
+
+    def test_migrations_cost_transfer_time(self):
+        tb = ClusterTestbed(TestbedParameters(horizon=500.0), arrival_rate=6.0)
+        res = tb.run()
+        if res.admitted_migrated > 0:
+            assert res.extra["migration_time_total"] > 0.0
+            assert tb.rmi.bytes_moved > 0
+
+    def test_multicast_messages_cheap(self):
+        # on the LAN a HELP flood is one message, so totals stay small
+        res = run_testbed(6.0, SHORT)
+        assert res.messages_total < 100_000
+
+    def test_overrides_via_kwargs(self):
+        res = run_testbed(1.0, SHORT, seed=9)
+        assert res.params["seed"] == 9

@@ -1,0 +1,185 @@
+"""Unit tests for Algorithm H (adaptive HELP scheduling)."""
+
+import pytest
+
+from repro.core.algorithm_h import HelpScheduler
+from repro.sim.kernel import Simulator
+
+
+def build(sim=None, **kwargs):
+    sim = sim or Simulator()
+    sent = []
+    params = dict(
+        initial_interval=1.0,
+        alpha=0.5,
+        beta=0.5,
+        upper_limit=100.0,
+        response_timeout=1.0,
+    )
+    params.update(kwargs)
+    sched = HelpScheduler(sim, lambda: sent.append(sim.now), **params)
+    return sim, sched, sent
+
+
+class TestGate:
+    def test_first_send_allowed(self):
+        sim, sched, sent = build()
+        assert sched.maybe_send()
+        assert sent == [0.0]
+
+    def test_window_blocks_rapid_sends(self):
+        sim, sched, sent = build()
+        sched.maybe_send()
+        assert not sched.maybe_send()  # same instant: gap 0 <= interval
+        assert sent == [0.0]
+
+    def test_send_allowed_after_window(self):
+        sim, sched, sent = build()
+        sched.maybe_send()
+        sched.on_pledge(found_node=False)  # keep round failing: penalty at 1.0
+        # after the penalty the interval is 1.5; a send at 2.0 clears it
+        sim.at(2.0, sched.maybe_send)
+        sim.run(until=3.0)
+        assert sent == [0.0, 2.0]
+
+    def test_gate_is_strict_inequality(self):
+        # (T_current - T_sent) > HELP_interval, per the paper's pseudocode
+        sim, sched, sent = build()
+        sched.maybe_send()
+        sim.at(1.0, sched.maybe_send)  # exactly the interval: blocked
+        sim.run(until=2.0)
+        assert sent == [0.0]
+
+
+class TestPenalty:
+    def test_timeout_grows_interval(self):
+        sim, sched, _ = build()
+        sched.maybe_send()
+        sim.run(until=2.0)  # timeout at 1.0 with no pledges
+        assert sched.interval == pytest.approx(1.5)
+        assert sched.penalties == 1
+        assert sched.timeouts == 1
+
+    def test_growth_capped_at_upper_limit(self):
+        sim, sched, _ = build(alpha=10.0, upper_limit=5.0, initial_interval=1.0)
+        t = 0.0
+        for _ in range(4):
+            sim.at(t, sched.maybe_send)
+            t += 50.0
+        sim.run(until=300.0)
+        assert sched.interval <= 5.0
+
+    def test_non_adaptive_never_grows(self):
+        sim, sched, _ = build(adaptive=False, initial_interval=10.0, upper_limit=10.0)
+        sched.maybe_send()
+        sim.run(until=5.0)
+        assert sched.interval == 10.0
+        assert sched.penalties == 0
+
+
+class TestReward:
+    def test_found_pledge_shrinks_interval(self):
+        sim, sched, _ = build(beta=0.5)
+        sched.maybe_send()
+        sched.on_pledge(found_node=True)
+        assert sched.interval == pytest.approx(0.5)
+        assert sched.rewards == 1
+
+    def test_found_pledge_disarms_penalty(self):
+        sim, sched, _ = build()
+        sched.maybe_send()
+        sched.on_pledge(found_node=True)
+        sim.run(until=5.0)
+        assert sched.penalties == 0
+
+    def test_unusable_pledge_keeps_penalty_armed(self):
+        sim, sched, _ = build()
+        sched.maybe_send()
+        sched.on_pledge(found_node=False)
+        sim.run(until=5.0)
+        assert sched.penalties == 1  # round still failed
+
+    def test_at_most_one_reward_per_round(self):
+        sim, sched, _ = build(beta=0.5)
+        sched.maybe_send()
+        sched.on_pledge(found_node=True)
+        sched.on_pledge(found_node=True)
+        sched.on_pledge(found_node=True)
+        assert sched.rewards == 1
+        assert sched.interval == pytest.approx(0.5)
+
+    def test_reward_respects_floor(self):
+        sim, sched, _ = build(beta=0.99, min_interval=0.1)
+        for i in range(10):
+            sim.at(float(i * 10), sched.maybe_send)
+            sim.at(float(i * 10) + 0.1, sched.on_pledge, True)
+        sim.run(until=200.0)
+        assert sched.interval >= 0.1
+
+    def test_pledge_without_round_ignored(self):
+        sim, sched, _ = build()
+        sched.on_pledge(found_node=True)  # no HELP outstanding
+        assert sched.rewards == 0
+        assert sched.interval == 1.0
+
+
+class TestDynamics:
+    def test_sustained_failure_pins_at_upper_limit(self):
+        sim, sched, sent = build(alpha=1.5, beta=0.2, upper_limit=100.0)
+
+        def try_send():
+            sched.maybe_send()
+            if sim.now < 2000.0:
+                sim.after(5.0, try_send)
+
+        try_send()
+        sim.run(until=2100.0)
+        assert sched.interval == pytest.approx(100.0)
+        # sends become rare once the interval is pinned
+        late = [t for t in sent if t > 1000.0]
+        assert len(late) <= 12
+
+    def test_recovery_releases_interval(self):
+        sim, sched, _ = build(alpha=1.5, beta=0.2)
+        # drive the interval up
+        t = 0.0
+        for _ in range(20):
+            sim.at(t, sched.maybe_send)
+            t += 120.0
+        sim.run(until=t)
+        pinned = sched.interval
+        assert pinned > 10.0
+        # now every round succeeds
+        for _ in range(20):
+            sim.at(t, sched.maybe_send)
+            sim.at(t + 0.1, sched.on_pledge, True)
+            t += 120.0
+        sim.run(until=t)
+        assert sched.interval < pinned / 4
+
+    def test_mean_interval_time_weighted(self):
+        sim, sched, _ = build()
+        sched.interval_history = [(0.0, 2.0), (10.0, 4.0), (20.0, 4.0)]
+        # 2.0 held for 10s, 4.0 held for 10s
+        assert sched.mean_interval() == pytest.approx(3.0)
+
+    def test_stop_cancels_pending_timer(self):
+        sim, sched, _ = build()
+        sched.maybe_send()
+        sched.stop()
+        sim.run(until=10.0)
+        assert sched.penalties == 0
+
+
+class TestValidation:
+    def test_rejects_bad_intervals(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            HelpScheduler(sim, lambda: None, initial_interval=0.0, alpha=1.0,
+                          beta=0.5, upper_limit=10.0, response_timeout=1.0)
+        with pytest.raises(ValueError):
+            HelpScheduler(sim, lambda: None, initial_interval=20.0, alpha=1.0,
+                          beta=0.5, upper_limit=10.0, response_timeout=1.0)
+        with pytest.raises(ValueError):
+            HelpScheduler(sim, lambda: None, initial_interval=1.0, alpha=1.0,
+                          beta=0.5, upper_limit=10.0, response_timeout=0.0)

@@ -1,0 +1,114 @@
+"""Unit tests for community soft state."""
+
+import pytest
+
+from repro.core.community import Community, MembershipTable
+from repro.core.messages import Pledge
+
+
+def pledge(node, availability=50.0, usage=0.5, t=0.0, communities=1):
+    return Pledge(
+        pledger=node,
+        availability=availability,
+        usage=usage,
+        communities=communities,
+        grant_probability=0.5,
+        sent_at=t,
+    )
+
+
+class TestCommunity:
+    def test_pledge_joins(self):
+        c = Community(organizer=0)
+        assert c.on_pledge(pledge(1), now=0.0)
+        assert c.members() == [1]
+        assert c.total_joins == 1
+
+    def test_repledge_updates_not_joins(self):
+        c = Community(organizer=0)
+        c.on_pledge(pledge(1, availability=50.0), now=0.0)
+        is_new = c.on_pledge(pledge(1, availability=20.0), now=5.0)
+        assert not is_new
+        assert c.total_joins == 1
+        rec = c.record(1)
+        assert rec.availability == 20.0
+        assert rec.last_pledge_at == 5.0
+
+    def test_refresh_sweeps_silent_members(self):
+        c = Community(organizer=0, member_ttl=10.0)
+        c.on_pledge(pledge(1), now=0.0)
+        c.on_pledge(pledge(2), now=8.0)
+        dropped = c.note_refresh(now=11.0)
+        assert dropped == [1]
+        assert c.members() == [2]
+
+    def test_refresh_keeps_fresh_members(self):
+        c = Community(organizer=0, member_ttl=10.0)
+        c.on_pledge(pledge(1), now=0.0)
+        assert c.note_refresh(now=5.0) == []
+        assert 1 in c
+
+    def test_mark_available(self):
+        c = Community(organizer=0)
+        c.on_pledge(pledge(1), now=0.0)
+        c.mark_available(1, False)
+        assert c.record(1).available is False
+        c.mark_available(99, True)  # unknown member: no-op
+
+    def test_drop(self):
+        c = Community(organizer=0)
+        c.on_pledge(pledge(1), now=0.0)
+        c.drop(1)
+        assert c.size() == 0
+        c.drop(1)  # idempotent
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            Community(organizer=0, member_ttl=0.0)
+
+    def test_staleness(self):
+        c = Community(organizer=0)
+        c.on_pledge(pledge(1), now=2.0)
+        assert c.record(1).staleness(10.0) == 8.0
+
+
+class TestMembershipTable:
+    def test_join_and_renew(self):
+        m = MembershipTable(owner=0, membership_ttl=10.0)
+        m.on_help(5, now=0.0)
+        m.on_help(5, now=8.0)
+        assert m.organizers(now=15.0) == [5]  # renewed at 8, alive at 15
+
+    def test_expiry_after_silence(self):
+        m = MembershipTable(owner=0, membership_ttl=10.0)
+        m.on_help(5, now=0.0)
+        gone = m.expire(now=11.0)
+        assert gone == [5]
+        assert m.count() == 0
+
+    def test_own_community_rejected(self):
+        m = MembershipTable(owner=0)
+        with pytest.raises(ValueError):
+            m.on_help(0, now=0.0)
+
+    def test_leave(self):
+        m = MembershipTable(owner=0)
+        m.on_help(3, now=0.0)
+        m.leave(3)
+        assert 3 not in m
+
+    def test_count_with_lazy_expiry(self):
+        m = MembershipTable(owner=0, membership_ttl=10.0)
+        m.on_help(1, now=0.0)
+        m.on_help(2, now=5.0)
+        assert m.count(now=12.0) == 1   # 1 expired, 2 alive
+
+    def test_organizers_sorted(self):
+        m = MembershipTable(owner=0)
+        for org in (7, 3, 5):
+            m.on_help(org, now=0.0)
+        assert m.organizers() == [3, 5, 7]
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            MembershipTable(owner=0, membership_ttl=-1.0)

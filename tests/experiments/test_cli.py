@@ -1,0 +1,55 @@
+"""Tests for the `python -m repro.experiments` command-line interface."""
+
+import pytest
+
+from repro.experiments import __main__ as cli
+
+
+class TestCli:
+    def test_fig_target_runs_and_reports(self, capsys, monkeypatch):
+        # shrink the figure so the CLI test stays fast
+        import repro.experiments.figures as fg
+
+        def tiny_fig5(horizon, seed, parallel, raw=None):
+            return fg.fig5_admission_probability(
+                (2.0, 6.0), horizon=100.0, seed=seed,
+                protocols=("realtor", "push-1"),
+            )
+
+        monkeypatch.setitem(cli.FIGURES, "fig5", tiny_fig5)
+        rc = cli.main(["fig5"])
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert rc in (0, 1)  # shape checks may flip at tiny horizons
+
+    def test_ablation_target(self, capsys, monkeypatch):
+        from repro.experiments import ablations as ab
+
+        monkeypatch.setitem(
+            cli.ABLATIONS, "a5",
+            lambda: ab.ablate_retry_policy(policies=("one-shot",), horizon=100.0),
+        )
+        rc = cli.main(["a5"])
+        out = capsys.readouterr().out
+        assert "A5" in out
+        assert rc == 0
+
+    def test_unknown_target_errors(self, capsys):
+        rc = cli.main(["fig99"])
+        assert rc == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_all_expands_to_every_figure(self):
+        # parse-only check of the expansion logic
+        targets = []
+        for t in ["all"]:
+            if t == "all":
+                targets += list(cli.FIGURES) + ["fig9"]
+        assert targets == ["fig5", "fig6", "fig7", "fig8", "fig9"]
+
+    def test_ablations_expands(self):
+        targets = []
+        for t in ["ablations"]:
+            if t == "ablations":
+                targets += list(cli.ABLATIONS)
+        assert set(targets) == {"a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "b1", "b2", "b3"}

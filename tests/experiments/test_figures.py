@@ -1,0 +1,74 @@
+"""Tests for the figure harness (reduced horizons — shape checks run at
+full scale in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FigureResult,
+    fig5_admission_probability,
+    fig6_message_overhead,
+    fig7_cost_per_task,
+    fig8_migration_rate,
+    fig9_testbed_admission,
+)
+
+RATES = (2.0, 5.0, 8.0)
+H = 150.0
+
+
+class TestFigureMachinery:
+    def test_fig5_structure(self):
+        r = fig5_admission_probability(RATES, horizon=H)
+        assert isinstance(r, FigureResult)
+        assert r.xs == list(RATES)
+        assert set(r.series) == {"pull-.9", "push-1", "push-.9", "pull-100", "realtor"}
+        assert all(len(v) == 3 for v in r.series.values())
+        assert "lambda" in r.table
+        assert r.checks  # has shape checks
+
+    def test_fig5_values_are_probabilities(self):
+        r = fig5_admission_probability(RATES, horizon=H)
+        for series in r.series.values():
+            assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_fig6_message_totals_nonnegative(self):
+        r = fig6_message_overhead(RATES, horizon=H)
+        for series in r.series.values():
+            assert all(v >= 0.0 for v in series)
+        # pure push must dominate at light load even on short runs
+        assert r.series["push-1"][0] > r.series["realtor"][0]
+
+    def test_fig7_per_task_cost(self):
+        r = fig7_cost_per_task(RATES, horizon=H)
+        # push-1 at lambda=5 ~ 200 regardless of horizon (flat in time)
+        i5 = r.xs.index(5.0)
+        assert 100.0 <= r.series["push-1"][i5] <= 300.0
+
+    def test_fig8_rates_in_unit_interval(self):
+        r = fig8_migration_rate(RATES, horizon=H)
+        for series in r.series.values():
+            assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_subset_of_protocols(self):
+        r = fig5_admission_probability(
+            (2.0,), horizon=H, protocols=("realtor", "push-1")
+        )
+        assert set(r.series) == {"realtor", "push-1"}
+
+    def test_summary_renders(self):
+        r = fig5_admission_probability((2.0,), horizon=H,
+                                       protocols=("realtor",))
+        text = r.summary()
+        assert "Figure 5" in text
+        assert "[" in text  # check markers
+
+    def test_fig9_testbed_and_reference(self):
+        r = fig9_testbed_admission((1.0, 5.0), horizon=200.0)
+        assert "testbed" in r.series and "simulation" in r.series
+        assert len(r.series["testbed"]) == 2
+        # light load fully admitted in both
+        assert r.series["testbed"][0] == pytest.approx(1.0, abs=0.02)
+
+    def test_fig9_without_reference(self):
+        r = fig9_testbed_admission((1.0,), horizon=150.0, sim_reference=False)
+        assert set(r.series) == {"testbed"}

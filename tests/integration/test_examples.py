@@ -1,0 +1,59 @@
+"""Guard tests for the example scripts.
+
+Every example must at least compile and import-resolve against the
+current API; the cheapest one also runs end-to-end so a broken public
+API cannot ship with green tests.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES}
+        assert {
+            "quickstart.py",
+            "protocol_comparison.py",
+            "survivability_attack.py",
+            "scaling_study.py",
+            "agile_cluster.py",
+            "dynamic_overlay.py",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_imports_resolve(self, path):
+        """Import every module the example references (no execution)."""
+        import ast
+
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    mod = __import__(node.module, fromlist=["_"])
+                    for alias in node.names:
+                        assert hasattr(mod, alias.name), (
+                            f"{path.name}: {node.module}.{alias.name} missing"
+                        )
+
+    def test_quickstart_runs_end_to_end(self):
+        """The smallest example must execute successfully as a process."""
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "admission probability" in proc.stdout

@@ -1,0 +1,91 @@
+"""Unit tests for metric counters."""
+
+import pytest
+
+from repro.metrics.counters import MessageCounters, TaskCounters
+
+
+class TestMessageCounters:
+    def test_add_accumulates_by_kind(self):
+        mc = MessageCounters()
+        mc.add("HELP", 40.0)
+        mc.add("HELP", 40.0)
+        mc.add("PLEDGE", 4.0)
+        assert mc.by_kind == {"HELP": 80.0, "PLEDGE": 4.0}
+        assert mc.total() == 84.0
+        assert mc.sends("HELP") == 2
+
+    def test_total_for_subset(self):
+        mc = MessageCounters()
+        mc.add("a", 1.0)
+        mc.add("b", 2.0)
+        mc.add("c", 4.0)
+        assert mc.total_for("a", "c") == 5.0
+        assert mc.total_for("missing") == 0.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            MessageCounters().add("x", -1.0)
+
+    def test_merge(self):
+        a, b = MessageCounters(), MessageCounters()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.by_kind == {"x": 3.0, "y": 3.0}
+        assert a.sends("x") == 2
+
+    def test_snapshot_is_copy(self):
+        mc = MessageCounters()
+        mc.add("x", 1.0)
+        snap = mc.snapshot()
+        snap["x"] = 99.0
+        assert mc.by_kind["x"] == 1.0
+
+    def test_reset(self):
+        mc = MessageCounters()
+        mc.add("x", 1.0)
+        mc.reset()
+        assert mc.total() == 0.0
+
+
+class TestTaskCounters:
+    def test_admission_probability(self):
+        tc = TaskCounters(generated=10, admitted_local=6, admitted_migrated=2,
+                          rejected=2)
+        assert tc.admitted == 8
+        assert tc.admission_probability == pytest.approx(0.8)
+
+    def test_migration_rate(self):
+        tc = TaskCounters(generated=10, admitted_local=6, admitted_migrated=2)
+        assert tc.migration_rate == pytest.approx(0.25)
+
+    def test_zero_denominators(self):
+        tc = TaskCounters()
+        assert tc.admission_probability == 0.0
+        assert tc.migration_rate == 0.0
+
+    def test_cost_per_admitted(self):
+        tc = TaskCounters(generated=4, admitted_local=2)
+        mc = MessageCounters()
+        mc.add("x", 100.0)
+        assert tc.cost_per_admitted(mc) == 50.0
+
+    def test_cost_per_admitted_no_admissions(self):
+        tc = TaskCounters(generated=4, rejected=4)
+        assert tc.cost_per_admitted(MessageCounters()) == float("inf")
+
+    def test_conservation_ok(self):
+        TaskCounters(generated=5, admitted_local=3, rejected=1).check_conservation()
+
+    def test_conservation_violation(self):
+        tc = TaskCounters(generated=2, admitted_local=2, rejected=1)
+        with pytest.raises(AssertionError):
+            tc.check_conservation()
+
+    def test_as_dict_complete(self):
+        d = TaskCounters(generated=1, admitted_local=1).as_dict()
+        assert d["generated"] == 1
+        assert d["admission_probability"] == 1.0
+        assert "evacuations" in d

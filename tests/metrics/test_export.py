@@ -1,0 +1,71 @@
+"""Tests for JSON result serialisation."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep import run_sweep
+from repro.metrics.export import (
+    FORMAT_TAG,
+    load_sweep,
+    result_from_dict,
+    result_to_dict,
+    save_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    base = ExperimentConfig(horizon=100.0)
+    return run_sweep(["realtor", "push-1"], [3.0, 7.0], base)
+
+
+class TestRoundTrip:
+    def test_result_round_trip(self, sweep):
+        original = sweep["realtor"][7.0]
+        rebuilt = result_from_dict(result_to_dict(original))
+        assert rebuilt == original
+
+    def test_dict_is_json_serialisable(self, sweep):
+        text = json.dumps(result_to_dict(sweep["push-1"][3.0]))
+        assert "push-1" in text
+
+    def test_missing_field_rejected(self, sweep):
+        data = result_to_dict(sweep["realtor"][3.0])
+        del data["generated"]
+        with pytest.raises(ValueError):
+            result_from_dict(data)
+
+
+class TestSweepFiles:
+    def test_save_load_round_trip(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        loaded = load_sweep(path)
+        assert set(loaded) == {"realtor", "push-1"}
+        assert set(loaded["realtor"]) == {3.0, 7.0}
+        for proto in sweep:
+            for rate in sweep[proto]:
+                assert loaded[proto][rate] == sweep[proto][rate]
+
+    def test_file_is_plain_json(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == FORMAT_TAG
+
+    def test_wrong_format_rejected(self, tmp_path):
+        p = tmp_path / "bogus.json"
+        p.write_text(json.dumps({"format": "other", "results": {}}))
+        with pytest.raises(ValueError):
+            load_sweep(p)
+
+    def test_figures_work_on_loaded_sweep(self, sweep, tmp_path):
+        """A saved sweep can regenerate figure tables offline."""
+        from repro.experiments.figures import fig5_admission_probability
+
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        loaded = load_sweep(path)
+        result = fig5_admission_probability(
+            (3.0, 7.0), protocols=("realtor", "push-1"), raw=loaded
+        )
+        assert result.series["realtor"]  # projected from disk, no sim runs

@@ -1,0 +1,88 @@
+"""Unit tests for time series and samplers."""
+
+import pytest
+
+from repro.metrics.series import Sampler, TimeSeries
+from repro.sim.kernel import Simulator
+
+
+class TestTimeSeries:
+    def test_append_and_views(self):
+        ts = TimeSeries("x", initial_capacity=2)
+        for i in range(5):  # forces buffer growth
+            ts.append(float(i), float(i * 10))
+        assert len(ts) == 5
+        assert ts.times.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert ts.values.tolist() == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_mean_and_max(self):
+        ts = TimeSeries()
+        for t, v in [(0.0, 1.0), (1.0, 3.0)]:
+            ts.append(t, v)
+        assert ts.mean() == 2.0
+        assert ts.max() == 3.0
+
+    def test_empty_stats(self):
+        ts = TimeSeries()
+        assert ts.mean() == 0.0
+        assert ts.max() == 0.0
+        assert ts.time_average() == 0.0
+
+    def test_time_average_weights_by_duration(self):
+        ts = TimeSeries()
+        ts.append(0.0, 10.0)   # held for 9 time units
+        ts.append(9.0, 0.0)    # held for 1
+        ts.append(10.0, 0.0)
+        assert ts.time_average() == pytest.approx(9.0)
+
+    def test_window_half_open(self):
+        ts = TimeSeries()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            ts.append(t, t)
+        times, values = ts.window(1.0, 3.0)
+        assert times.tolist() == [1.0, 2.0]
+
+    def test_crossings(self):
+        ts = TimeSeries()
+        for t, v in enumerate([0.1, 0.95, 0.5, 0.92, 0.3]):
+            ts.append(float(t), v)
+        assert ts.crossings(0.9) == 4
+
+
+class TestSampler:
+    def test_periodic_sampling(self):
+        sim = Simulator()
+        sampler = Sampler(sim, interval=10.0)
+        counter = {"v": 0.0}
+        series = sampler.watch("v", lambda: counter["v"])
+        sim.at(15.0, lambda: counter.__setitem__("v", 7.0))
+        sim.run(until=35.0)
+        # samples at t=0 (immediate), 10, 20, 30
+        assert series.times.tolist() == [0.0, 10.0, 20.0, 30.0]
+        assert series.values.tolist() == [0.0, 0.0, 7.0, 7.0]
+
+    def test_duplicate_probe_rejected(self):
+        sim = Simulator()
+        sampler = Sampler(sim, interval=1.0)
+        sampler.watch("x", lambda: 0.0)
+        with pytest.raises(ValueError):
+            sampler.watch("x", lambda: 1.0)
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator()
+        sampler = Sampler(sim, interval=1.0)
+        series = sampler.watch("x", lambda: 1.0)
+        sim.at(2.5, sampler.stop)
+        sim.run(until=10.0)
+        assert len(series) == 3  # t=0, 1, 2
+
+    def test_get(self):
+        sim = Simulator()
+        sampler = Sampler(sim, interval=1.0)
+        series = sampler.watch("x", lambda: 0.0)
+        assert sampler.get("x") is series
+        assert sampler.get("missing") is None
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            Sampler(Simulator(), interval=0.0)

@@ -1,0 +1,164 @@
+"""Integration-grade tests for the migration coordinator."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_system
+from repro.node.task import Task, TaskOutcome, TaskStatus
+from repro.protocols.base import ProtocolConfig
+
+
+def small_system(**overrides):
+    cfg = ExperimentConfig(
+        protocol="realtor",
+        protocol_config=ProtocolConfig(scope="network"),
+        rows=2,
+        cols=2,
+        queue_capacity=10.0,
+        horizon=100.0,
+        arrival_rate=0.001,  # drive tasks by hand
+        **overrides,
+    )
+    return build_system(cfg)
+
+
+def place(system, size, origin):
+    t = Task(size=size, arrival_time=system.sim.now, origin=origin)
+    system.coordinator.place_task(t)
+    return t
+
+
+class TestPlacement:
+    def test_local_admission_when_fits(self):
+        s = small_system()
+        t = place(s, 5.0, 0)
+        assert t.outcome is TaskOutcome.LOCAL
+        assert s.metrics.tasks.admitted_local == 1
+
+    def test_migration_when_local_full(self):
+        s = small_system()
+        place(s, 9.0, 0)
+        t = place(s, 5.0, 0)
+        s.sim.run(until=1.0)
+        assert t.outcome is TaskOutcome.MIGRATED
+        assert t.admitted_at != 0
+        assert s.metrics.tasks.admitted_migrated == 1
+        assert s.metrics.tasks.migration_attempts == 1
+
+    def test_rejection_when_everything_full(self):
+        s = small_system()
+        for n in range(4):
+            place(s, 9.0, n)
+        t = place(s, 5.0, 0)
+        s.sim.run(until=1.0)
+        assert t.status is TaskStatus.REJECTED
+        assert s.metrics.tasks.rejected == 1
+
+    def test_one_shot_gives_single_attempt(self):
+        s = small_system()
+        # make the view lie: all peers look free, but all are full
+        for n in range(4):
+            place(s, 9.0, n)
+        for agent in s.agents.values():
+            for other in range(4):
+                agent.view.update(other, 10.0, 0.0, True, s.sim.now)
+        t = place(s, 5.0, 0)
+        s.sim.run(until=1.0)
+        assert t.status is TaskStatus.REJECTED
+        assert s.metrics.tasks.migration_attempts == 1  # exactly one try
+
+    def test_k_try_retries_next_candidate(self):
+        s = small_system(policy="3-try")
+        for n in range(4):
+            place(s, 9.0, n)
+        # lie about two peers, tell the truth about one
+        agent = s.agents[0]
+        agent.view.clear()
+        agent.view.update(1, 10.0, 0.0, True, s.sim.now)  # actually full
+        agent.view.update(2, 10.0, 0.0, True, s.sim.now)  # actually full
+        s.hosts[3].crash()  # now empty
+        agent.view.update(3, 5.0, 0.5, True, s.sim.now)   # ranked last
+        t = place(s, 5.0, 0)
+        s.sim.run(until=1.0)
+        assert t.outcome is TaskOutcome.MIGRATED
+        assert t.admitted_at == 3
+        assert s.metrics.tasks.migration_attempts == 3
+
+    def test_failed_candidate_forgotten(self):
+        s = small_system()
+        for n in range(4):
+            place(s, 9.0, n)
+        s.agents[0].view.update(1, 10.0, 0.0, True, s.sim.now)
+        place(s, 5.0, 0)
+        s.sim.run(until=1.0)
+        assert s.agents[0].view.get(1) is None
+
+    def test_conservation_invariant(self):
+        s = small_system()
+        for i in range(30):
+            place(s, 4.0, i % 4)
+        s.sim.run(until=50.0)
+        m = s.metrics.tasks
+        m.check_conservation()
+        assert m.generated == 30
+        assert m.admitted + m.rejected == 30
+
+
+class TestSurvivability:
+    def test_compromise_evacuates_queued_tasks(self):
+        s = small_system()
+        place(s, 5.0, 0)
+        victims = [place(s, 3.0, 0), place(s, 2.0, 0)]  # queued behind head
+        s.sim.run(until=0.5)
+        s.faults.compromise(0)
+        s.sim.run(until=1.5)
+        for t in victims:
+            assert t.outcome is TaskOutcome.EVACUATED
+            assert t.admitted_at != 0
+        assert s.metrics.tasks.evacuations == 2
+        assert s.metrics.tasks.evacuation_failures == 0
+
+    def test_evacuation_failure_loses_task(self):
+        s = small_system()
+        for n in range(1, 4):
+            place(s, 9.0, n)  # nowhere to go
+        place(s, 5.0, 0)
+        queued = place(s, 4.0, 0)
+        s.sim.run(until=0.5)
+        s.faults.compromise(0)
+        s.sim.run(until=1.5)
+        assert queued.outcome is TaskOutcome.LOST
+        assert s.metrics.tasks.evacuation_failures >= 1
+
+    def test_crash_loses_resident_tasks(self):
+        s = small_system()
+        t1 = place(s, 5.0, 0)
+        t2 = place(s, 4.0, 0)
+        s.faults.crash(0)
+        assert t1.outcome is TaskOutcome.LOST
+        assert t2.outcome is TaskOutcome.LOST
+        assert s.metrics.tasks.lost == 2
+
+    def test_arrival_on_just_crashed_node_rejected(self):
+        s = small_system()
+        s.faults.crash(0)
+        t = place(s, 5.0, 0)
+        assert t.status is TaskStatus.REJECTED
+
+    def test_recovered_node_serves_again(self):
+        s = small_system()
+        s.faults.crash(0)
+        s.faults.recover(0)
+        t = place(s, 5.0, 0)
+        assert t.outcome is TaskOutcome.LOCAL
+
+
+class TestValidation:
+    def test_mismatched_maps_rejected(self):
+        s = small_system()
+        from repro.migration.migrator import MigrationCoordinator
+
+        with pytest.raises(ValueError):
+            MigrationCoordinator(
+                s.sim, s.hosts, {}, s.admissions, s.metrics
+            )

@@ -1,0 +1,85 @@
+"""Unit tests for migration policies."""
+
+import numpy as np
+import pytest
+
+from repro.migration.policy import (
+    KTryPolicy,
+    OneShotPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.node.task import Task
+
+
+def task(origin=0):
+    return Task(size=5.0, arrival_time=0.0, origin=origin)
+
+
+class TestOneShot:
+    def test_takes_only_best(self):
+        assert OneShotPolicy().select(task(), [3, 1, 2]) == [3]
+
+    def test_empty_candidates(self):
+        assert OneShotPolicy().select(task(), []) == []
+
+
+class TestKTry:
+    def test_takes_k_in_order(self):
+        assert KTryPolicy(2).select(task(), [5, 4, 3]) == [5, 4]
+
+    def test_fewer_candidates_than_k(self):
+        assert KTryPolicy(5).select(task(), [1]) == [1]
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KTryPolicy(0)
+
+    def test_name_reflects_k(self):
+        assert KTryPolicy(3).name == "3-try"
+
+
+class TestRandom:
+    def test_never_picks_origin(self):
+        rng = np.random.default_rng(0)
+        pol = RandomPolicy(range(5), rng, k=1)
+        for _ in range(50):
+            (pick,) = pol.select(task(origin=2), [])
+            assert pick != 2
+
+    def test_k_distinct_picks(self):
+        rng = np.random.default_rng(0)
+        pol = RandomPolicy(range(10), rng, k=3)
+        picks = pol.select(task(origin=0), [])
+        assert len(picks) == len(set(picks)) == 3
+
+    def test_single_node_system(self):
+        pol = RandomPolicy([0], np.random.default_rng(0))
+        assert pol.select(task(origin=0), []) == []
+
+    def test_ignores_ranked_candidates(self):
+        rng = np.random.default_rng(1)
+        pol = RandomPolicy(range(20), rng)
+        picks = {pol.select(task(), [7])[0] for _ in range(40)}
+        assert len(picks) > 3  # not glued to the ranked list
+
+
+class TestMakePolicy:
+    def test_one_shot_aliases(self):
+        for spec in ("one-shot", "oneshot", "1-try"):
+            assert isinstance(make_policy(spec), OneShotPolicy)
+
+    def test_k_try_parsing(self):
+        pol = make_policy("4-try")
+        assert isinstance(pol, KTryPolicy) and pol.k == 4
+
+    def test_random_needs_context(self):
+        with pytest.raises(ValueError):
+            make_policy("random")
+        pol = make_policy("random-2", all_nodes=range(5),
+                          rng=np.random.default_rng(0))
+        assert isinstance(pol, RandomPolicy) and pol.k == 2
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError):
+            make_policy("teleport")

@@ -1,0 +1,124 @@
+"""Unit tests for the fault model."""
+
+import pytest
+
+from repro.network.faults import FaultManager, NodeState
+from repro.network.generators import mesh, paper_topology
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def fm():
+    sim = Simulator()
+    return sim, FaultManager(sim, paper_topology())
+
+
+class TestTransitions:
+    def test_initial_state_up(self, fm):
+        _, faults = fm
+        assert faults.state(0) is NodeState.UP
+        assert faults.is_up(0)
+        assert len(faults.up_nodes()) == 25
+
+    def test_crash_and_recover(self, fm):
+        _, faults = fm
+        faults.crash(3)
+        assert faults.state(3) is NodeState.CRASHED
+        assert not faults.is_up(3)
+        faults.recover(3)
+        assert faults.is_up(3)
+
+    def test_compromise_marks_not_up(self, fm):
+        _, faults = fm
+        faults.compromise(4)
+        assert faults.is_compromised(4)
+        assert not faults.is_up(4)
+
+    def test_redundant_transition_is_noop(self, fm):
+        _, faults = fm
+        faults.crash(1)
+        v = faults.version
+        n = len(faults.history)
+        faults.crash(1)
+        assert faults.version == v and len(faults.history) == n
+
+    def test_unknown_node_raises(self, fm):
+        _, faults = fm
+        with pytest.raises(KeyError):
+            faults.crash(404)
+
+    def test_history_records_transitions(self, fm):
+        sim, faults = fm
+        sim.at(5.0, faults.crash, 2)
+        sim.at(9.0, faults.recover, 2)
+        sim.run()
+        assert [(e.time, e.state) for e in faults.history] == [
+            (5.0, NodeState.CRASHED),
+            (9.0, NodeState.UP),
+        ]
+
+    def test_observers_notified(self, fm):
+        _, faults = fm
+        seen = []
+        faults.on_change(lambda n, s: seen.append((n, s)))
+        faults.compromise(7)
+        faults.recover(7)
+        assert seen == [(7, NodeState.COMPROMISED), (7, NodeState.UP)]
+
+    def test_scheduled_transitions(self, fm):
+        sim, faults = fm
+        faults.schedule_crash(10.0, 1)
+        faults.schedule_recover(20.0, 1)
+        sim.run(until=15.0)
+        assert not faults.is_up(1)
+        sim.run(until=25.0)
+        assert faults.is_up(1)
+
+
+class TestLinks:
+    def test_fail_and_restore_link(self, fm):
+        _, faults = fm
+        assert faults.link_up(0, 1)
+        faults.fail_link(0, 1)
+        assert not faults.link_up(0, 1)
+        assert not faults.link_up(1, 0)
+        faults.restore_link(0, 1)
+        assert faults.link_up(0, 1)
+
+    def test_fail_unknown_link_raises(self, fm):
+        _, faults = fm
+        with pytest.raises(KeyError):
+            faults.fail_link(0, 24)
+
+    def test_live_topology_excludes_down(self):
+        sim = Simulator()
+        faults = FaultManager(sim, mesh(1, 4))
+        faults.crash(1)
+        faults.fail_link(2, 3)
+        live = faults.live_topology()
+        assert live.nodes() == [0, 2, 3]
+        assert live.links() == []
+
+
+class TestDowntime:
+    def test_downtime_fraction_single_node(self):
+        sim = Simulator()
+        faults = FaultManager(sim, mesh(1, 2))
+        sim.at(10.0, faults.crash, 0)
+        sim.at(30.0, faults.recover, 0)
+        sim.run(until=100.0)
+        assert faults.downtime_fraction(100.0, node=0) == pytest.approx(0.2)
+
+    def test_downtime_open_interval_counts_to_horizon(self):
+        sim = Simulator()
+        faults = FaultManager(sim, mesh(1, 2))
+        sim.at(50.0, faults.crash, 1)
+        sim.run(until=100.0)
+        assert faults.downtime_fraction(100.0, node=1) == pytest.approx(0.5)
+
+    def test_mean_downtime_over_all_nodes(self):
+        sim = Simulator()
+        faults = FaultManager(sim, mesh(1, 2))
+        sim.at(0.0, faults.crash, 0)
+        sim.run(until=10.0)
+        assert faults.downtime_fraction(10.0) == pytest.approx(0.5)

@@ -1,0 +1,94 @@
+"""Unit tests for topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.network import generators as g
+
+
+class TestMesh:
+    def test_paper_topology_is_25_nodes_40_links(self):
+        t = g.paper_topology()
+        assert t.num_nodes == 25
+        assert t.num_links == 40
+
+    def test_mesh_link_count_formula(self):
+        for rows, cols in [(2, 2), (3, 4), (5, 5), (1, 7)]:
+            t = g.mesh(rows, cols)
+            assert t.num_nodes == rows * cols
+            assert t.num_links == rows * (cols - 1) + cols * (rows - 1)
+
+    def test_mesh_corner_degrees(self):
+        t = g.mesh(5, 5)
+        assert t.degree(0) == 2           # corner
+        assert t.degree(2) == 3           # edge
+        assert t.degree(12) == 4          # centre
+
+    def test_mesh_connected(self):
+        assert g.mesh(4, 6).is_connected()
+
+    def test_mesh_rejects_zero(self):
+        with pytest.raises(ValueError):
+            g.mesh(0, 5)
+
+
+class TestOtherShapes:
+    def test_torus_uniform_degree_4(self):
+        t = g.torus(4, 4)
+        assert all(t.degree(n) == 4 for n in t.nodes())
+        assert t.is_connected()
+
+    def test_torus_rejects_small(self):
+        with pytest.raises(ValueError):
+            g.torus(2, 4)
+
+    def test_ring(self):
+        t = g.ring(6)
+        assert t.num_links == 6
+        assert all(t.degree(n) == 2 for n in t.nodes())
+
+    def test_ring_rejects_small(self):
+        with pytest.raises(ValueError):
+            g.ring(2)
+
+    def test_star_hub_degree(self):
+        t = g.star(8)
+        assert t.degree(0) == 7
+        assert all(t.degree(n) == 1 for n in range(1, 8))
+
+    def test_full_mesh_complete(self):
+        t = g.full_mesh(5)
+        assert t.num_links == 10
+        assert all(t.degree(n) == 4 for n in t.nodes())
+
+    def test_binary_tree_counts(self):
+        t = g.binary_tree(3)
+        assert t.num_nodes == 15
+        assert t.num_links == 14
+        assert t.is_connected()
+
+    def test_binary_tree_depth_zero(self):
+        t = g.binary_tree(0)
+        assert t.num_nodes == 1 and t.num_links == 0
+
+
+class TestRandomRegularish:
+    def test_degree_and_connectivity(self):
+        rng = np.random.default_rng(0)
+        t = g.random_regularish(20, 4, rng)
+        assert t.num_nodes == 20
+        assert t.is_connected()
+        assert all(t.degree(n) == 4 for n in t.nodes())
+
+    def test_parity_validation(self):
+        with pytest.raises(ValueError):
+            g.random_regularish(5, 3, np.random.default_rng(0))
+
+    def test_degree_bounds(self):
+        with pytest.raises(ValueError):
+            g.random_regularish(4, 4, np.random.default_rng(0))
+
+    def test_deterministic_given_rng_seed(self):
+        t1 = g.random_regularish(12, 3, np.random.default_rng(7))
+        t2 = g.random_regularish(12, 3, np.random.default_rng(7))
+        assert t1.links() == t2.links()

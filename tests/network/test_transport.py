@@ -1,0 +1,212 @@
+"""Unit tests for message transport and cost accounting."""
+
+import pytest
+
+from repro.network.faults import FaultManager
+from repro.network.generators import mesh, paper_topology
+from repro.network.transport import CostModel, Transport, UnicastCostMode
+from repro.sim.kernel import Simulator
+
+
+def make(sim=None, topo=None, **kwargs):
+    sim = sim or Simulator()
+    topo = topo or paper_topology()
+    costs = []
+    tr = Transport(sim, topo, on_cost=lambda k, c: costs.append((k, c)), **kwargs)
+    return sim, topo, tr, costs
+
+
+class TestUnicast:
+    def test_delivery_and_metadata(self):
+        sim, _, tr, _ = make()
+        seen = []
+        tr.register(6, "ping", seen.append)
+        assert tr.unicast(0, 6, "ping", {"v": 1})
+        sim.run()
+        (d,) = seen
+        assert (d.src, d.dst, d.kind) == (0, 6, "ping")
+        assert d.payload == {"v": 1}
+
+    def test_cost_is_hop_count_by_default(self):
+        sim, _, tr, costs = make()
+        tr.register(24, "x", lambda d: None)
+        tr.unicast(0, 24, "x", None)
+        assert costs == [("x", 8.0)]
+
+    def test_fixed_cost_mode(self):
+        sim, topo, tr, costs = make(
+            cost_model=CostModel(
+                unicast_mode=UnicastCostMode.FIXED, fixed_unicast_cost=4.0
+            )
+        )
+        tr.register(1, "x", lambda d: None)
+        tr.unicast(0, 1, "x", None)
+        assert costs == [("x", 4.0)]  # paper's PLEDGE charge
+
+    def test_mean_cost_mode(self):
+        sim, _, tr, costs = make(
+            cost_model=CostModel(unicast_mode=UnicastCostMode.MEAN)
+        )
+        tr.register(1, "x", lambda d: None)
+        tr.unicast(0, 1, "x", None)
+        assert costs[0][1] == pytest.approx(10.0 / 3.0)
+
+    def test_unknown_destination_raises(self):
+        _, _, tr, _ = make()
+        with pytest.raises(KeyError):
+            tr.unicast(0, 999, "x", None)
+
+    def test_no_handler_counts_dropped(self):
+        sim, _, tr, _ = make()
+        tr.unicast(0, 1, "nobody-listens", None)
+        sim.run()
+        assert tr.dropped_messages == 1
+        assert tr.delivered_messages == 0
+
+    def test_down_source_sends_nothing(self):
+        sim = Simulator()
+        topo = paper_topology()
+        faults = FaultManager(sim, topo)
+        costs = []
+        tr = Transport(sim, topo, is_up=faults.is_up,
+                       on_cost=lambda k, c: costs.append(c))
+        faults.crash(0)
+        assert not tr.unicast(0, 1, "x", None)
+        assert costs == []
+
+    def test_down_destination_still_charged(self):
+        sim = Simulator()
+        topo = paper_topology()
+        faults = FaultManager(sim, topo)
+        costs = []
+        tr = Transport(sim, topo, is_up=faults.is_up,
+                       on_cost=lambda k, c: costs.append(c))
+        faults.crash(5)
+        assert not tr.unicast(0, 5, "x", None)
+        assert len(costs) == 1  # packets travel before being dropped
+
+
+class TestFlood:
+    def test_reaches_all_other_nodes(self):
+        sim, topo, tr, _ = make()
+        received = []
+        for n in topo.nodes():
+            tr.register(n, "adv", lambda d, n=n: received.append(n))
+        tr.flood(3, "adv", None)
+        sim.run()
+        assert sorted(received) == [n for n in topo.nodes() if n != 3]
+
+    def test_cost_is_link_count(self):
+        _, topo, tr, costs = make()
+        tr.flood(0, "adv", None)
+        assert costs == [("adv", 40.0)]  # the paper's flood charge
+
+    def test_flood_cost_override(self):
+        sim, topo, tr, costs = make(
+            cost_model=CostModel(flood_cost_override=1.0)
+        )
+        tr.flood(0, "adv", None)
+        assert costs == [("adv", 1.0)]  # LAN multicast
+
+    def test_neighbors_only_scope(self):
+        sim, topo, tr, costs = make()
+        received = []
+        for n in topo.nodes():
+            tr.register(n, "help", lambda d, n=n: received.append(n))
+        out = tr.flood(12, "help", None, neighbors_only=True)
+        sim.run()
+        assert sorted(out) == [7, 11, 13, 17]
+        assert sorted(received) == [7, 11, 13, 17]
+        # cost is unchanged by scope (the paper's accounting note)
+        assert costs == [("help", 40.0)]
+
+    def test_flood_respects_partitions(self):
+        sim = Simulator()
+        topo = mesh(1, 4)  # line: 0-1-2-3
+        faults = FaultManager(sim, topo)
+        tr = Transport(sim, topo, is_up=faults.is_up,
+                       liveness_version=lambda: faults.version)
+        received = []
+        for n in topo.nodes():
+            tr.register(n, "adv", lambda d, n=n: received.append(n))
+        faults.crash(1)  # partitions 0 | 2-3
+        tr.flood(0, "adv", None)
+        sim.run()
+        assert received == []
+
+    def test_flood_cache_invalidated_by_fault(self):
+        sim = Simulator()
+        topo = mesh(1, 4)
+        faults = FaultManager(sim, topo)
+        tr = Transport(sim, topo, is_up=faults.is_up,
+                       liveness_version=lambda: faults.version)
+        assert len(tr.flood(0, "adv", None)) == 3
+        faults.crash(3)
+        assert len(tr.flood(0, "adv", None)) == 2
+        faults.recover(3)
+        assert len(tr.flood(0, "adv", None)) == 3
+
+    def test_down_source_floods_nothing(self):
+        sim = Simulator()
+        topo = paper_topology()
+        faults = FaultManager(sim, topo)
+        tr = Transport(sim, topo, is_up=faults.is_up)
+        faults.crash(0)
+        assert tr.flood(0, "adv", None) == []
+
+
+class TestMulticast:
+    def test_explicit_receivers(self):
+        sim, _, tr, _ = make()
+        seen = []
+        for n in (1, 2, 3):
+            tr.register(n, "m", lambda d, n=n: seen.append(n))
+        out = tr.multicast(0, [3, 1, 2, 0], "m", None)
+        sim.run()
+        assert out == [1, 2, 3]  # sender excluded, sorted
+        assert sorted(seen) == [1, 2, 3]
+
+    def test_explicit_cost(self):
+        _, _, tr, costs = make()
+        tr.register(1, "m", lambda d: None)
+        tr.multicast(0, [1], "m", None, cost=1.0)
+        assert costs == [("m", 1.0)]
+
+    def test_default_cost_sums_unicasts(self):
+        _, _, tr, costs = make()
+        for n in (1, 5):
+            tr.register(n, "m", lambda d: None)
+        tr.multicast(0, [1, 5], "m", None)
+        assert costs == [("m", 2.0)]  # two 1-hop receivers
+
+
+class TestLatency:
+    def test_per_hop_latency_delays_delivery(self):
+        sim = Simulator()
+        topo = paper_topology()
+        tr = Transport(sim, topo, per_hop_latency=0.1)
+        arrivals = []
+        tr.register(24, "x", lambda d: arrivals.append(sim.now))
+        tr.unicast(0, 24, "x", None)
+        sim.run()
+        assert arrivals == [pytest.approx(0.8)]  # 8 hops x 0.1
+
+    def test_zero_latency_still_asynchronous(self):
+        sim = Simulator()
+        topo = paper_topology()
+        tr = Transport(sim, topo)
+        order = []
+        tr.register(1, "x", lambda d: order.append("delivered"))
+        tr.unicast(0, 1, "x", None)
+        order.append("after-send")
+        sim.run()
+        assert order == ["after-send", "delivered"]
+
+    def test_unregister_silences_node(self):
+        sim, _, tr, _ = make()
+        seen = []
+        tr.register(1, "x", seen.append)
+        tr.unregister(1)
+        tr.unicast(0, 1, "x", None)
+        sim.run()
+        assert seen == []

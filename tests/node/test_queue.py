@@ -1,0 +1,186 @@
+"""Unit tests for the work queue."""
+
+import pytest
+
+from repro.node.queue import QueueFull, WorkQueue
+from repro.node.task import Task, TaskOutcome, TaskStatus
+from repro.sim.kernel import Simulator
+
+
+def admitted(task, node=0, time=0.0):
+    task.mark_admitted(node, time, TaskOutcome.LOCAL)
+    return task
+
+
+class TestBacklog:
+    def test_empty_queue(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        assert q.backlog() == 0.0
+        assert q.usage() == 0.0
+        assert q.headroom() == 100.0
+
+    def test_backlog_rises_with_admissions(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        q.admit(admitted(Task(size=10.0, arrival_time=0.0, origin=0)))
+        q.admit(admitted(Task(size=5.0, arrival_time=0.0, origin=0)))
+        assert q.backlog() == 15.0
+        assert q.usage() == pytest.approx(0.15)
+
+    def test_backlog_decays_at_unit_rate(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        q.admit(admitted(Task(size=10.0, arrival_time=0.0, origin=0)))
+        sim.run(until=4.0)
+        assert q.backlog() == pytest.approx(6.0)
+        sim.run(until=20.0)
+        assert q.backlog() == 0.0
+
+    def test_completion_time_fifo(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        c1 = q.admit(admitted(Task(size=3.0, arrival_time=0.0, origin=0)))
+        c2 = q.admit(admitted(Task(size=4.0, arrival_time=0.0, origin=0)))
+        assert (c1, c2) == (3.0, 7.0)
+
+    def test_idle_gap_resets_busy_until(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        q.admit(admitted(Task(size=2.0, arrival_time=0.0, origin=0)))
+        sim.run(until=10.0)
+        c = q.admit(admitted(Task(size=3.0, arrival_time=10.0, origin=0)))
+        assert c == 13.0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            WorkQueue(Simulator(), 0.0)
+
+
+class TestAdmission:
+    def test_fits_is_paper_test(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        q.admit(admitted(Task(size=96.0, arrival_time=0.0, origin=0)))
+        assert q.fits(4.0)
+        assert not q.fits(4.1)
+
+    def test_overfull_admission_raises(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 10.0)
+        q.admit(admitted(Task(size=8.0, arrival_time=0.0, origin=0)))
+        with pytest.raises(QueueFull):
+            q.admit(admitted(Task(size=3.0, arrival_time=0.0, origin=0)))
+
+    def test_completion_marks_task_and_fires_callback(self):
+        sim = Simulator()
+        done = []
+        q = WorkQueue(sim, 100.0, on_complete=done.append)
+        t = admitted(Task(size=5.0, arrival_time=0.0, origin=0))
+        q.admit(t)
+        sim.run()
+        assert done == [t]
+        assert t.status is TaskStatus.COMPLETED
+        assert t.completed_time == 5.0
+        assert q.completed_count == 1
+
+    def test_counters(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        for size in (2.0, 3.0):
+            q.admit(admitted(Task(size=size, arrival_time=0.0, origin=0)))
+        assert q.admitted_count == 2
+        assert q.work_admitted == 5.0
+        assert len(q) == 2
+        sim.run()
+        assert len(q) == 0
+
+
+class TestDropAll:
+    def test_crash_loses_resident_tasks(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        tasks = [admitted(Task(size=5.0, arrival_time=0.0, origin=0)) for _ in range(3)]
+        for t in tasks:
+            q.admit(t)
+        lost = q.drop_all()
+        assert lost == tasks
+        assert all(t.outcome is TaskOutcome.LOST for t in tasks)
+        assert q.backlog() == 0.0
+
+    def test_completion_events_noop_after_drop(self):
+        sim = Simulator()
+        done = []
+        q = WorkQueue(sim, 100.0, on_complete=done.append)
+        q.admit(admitted(Task(size=5.0, arrival_time=0.0, origin=0)))
+        q.drop_all()
+        sim.run()
+        assert done == []
+        assert q.completed_count == 0
+
+
+class TestRemove:
+    def test_remove_unstarted_task_compacts(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        t1 = admitted(Task(size=4.0, arrival_time=0.0, origin=0))
+        t2 = admitted(Task(size=6.0, arrival_time=0.0, origin=0))
+        t3 = admitted(Task(size=2.0, arrival_time=0.0, origin=0))
+        for t in (t1, t2, t3):
+            q.admit(t)
+        q.remove(t2)
+        assert q.backlog() == 6.0
+        assert t2.status is TaskStatus.CREATED
+        sim.run()
+        # remaining tasks complete, earlier than originally
+        assert t1.completed_time == 4.0
+        assert t3.completed_time == 6.0
+
+    def test_remove_started_head_refused(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        head = admitted(Task(size=10.0, arrival_time=0.0, origin=0))
+        q.admit(head)
+        sim.run(until=3.0)
+        with pytest.raises(ValueError):
+            q.remove(head)
+
+    def test_remove_head_at_admission_instant_allowed(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        head = admitted(Task(size=10.0, arrival_time=0.0, origin=0))
+        q.admit(head)
+        q.remove(head)  # zero execution so far
+        assert q.backlog() == 0.0
+
+    def test_remove_missing_task_raises(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        with pytest.raises(KeyError):
+            q.remove(Task(size=1.0, arrival_time=0.0, origin=0))
+
+    def test_no_double_completion_after_remove(self):
+        sim = Simulator()
+        done = []
+        q = WorkQueue(sim, 100.0, on_complete=done.append)
+        t1 = admitted(Task(size=4.0, arrival_time=0.0, origin=0))
+        t2 = admitted(Task(size=6.0, arrival_time=0.0, origin=0))
+        t3 = admitted(Task(size=2.0, arrival_time=0.0, origin=0))
+        for t in (t1, t2, t3):
+            q.admit(t)
+        q.remove(t2)
+        sim.run()
+        assert done == [t1, t3]
+        assert q.completed_count == 2
+
+    def test_running_head_preserved_across_remove(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        head = admitted(Task(size=10.0, arrival_time=0.0, origin=0))
+        tail = admitted(Task(size=4.0, arrival_time=0.0, origin=0))
+        q.admit(head)
+        q.admit(tail)
+        sim.run(until=5.0)  # head half done
+        q.remove(tail)
+        sim.run()
+        assert head.completed_time == 10.0  # not restarted

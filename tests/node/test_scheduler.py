@@ -1,0 +1,159 @@
+"""Unit tests for CUS and EDF schedulers."""
+
+import pytest
+
+from repro.node.scheduler import ConstantUtilizationServer, EdfScheduler, Job
+from repro.sim.kernel import Simulator
+
+
+class TestCus:
+    def test_admission_within_bound(self):
+        cus = ConstantUtilizationServer(1.0)
+        cus.admit("a", 0.5)
+        cus.admit("b", 0.5)
+        assert cus.available == pytest.approx(0.0)
+
+    def test_over_allocation_refused(self):
+        cus = ConstantUtilizationServer(0.8)
+        cus.admit("a", 0.7)
+        assert not cus.can_admit(0.2)
+        with pytest.raises(RuntimeError):
+            cus.admit("b", 0.2)
+
+    def test_release_returns_share(self):
+        cus = ConstantUtilizationServer()
+        cus.admit("a", 0.3)
+        assert cus.release("a") == 0.3
+        assert cus.available == pytest.approx(1.0)
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ConstantUtilizationServer().release("ghost")
+
+    def test_duplicate_component_rejected(self):
+        cus = ConstantUtilizationServer()
+        cus.admit("a", 0.1)
+        with pytest.raises(ValueError):
+            cus.admit("a", 0.1)
+
+    def test_zero_utilization_not_admittable(self):
+        assert not ConstantUtilizationServer().can_admit(0.0)
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            ConstantUtilizationServer(0.0)
+        with pytest.raises(ValueError):
+            ConstantUtilizationServer(1.5)
+
+    def test_components_listing(self):
+        cus = ConstantUtilizationServer()
+        cus.admit("b", 0.1)
+        cus.admit("a", 0.1)
+        assert cus.components() == ["a", "b"]
+        assert "a" in cus
+
+
+class TestEdfBasics:
+    def test_single_job_runs_to_completion(self):
+        sim = Simulator()
+        edf = EdfScheduler(sim)
+        job = Job(exec_time=3.0, release_time=0.0, absolute_deadline=10.0)
+        edf.submit(job)
+        sim.run()
+        assert job.completed_time == 3.0
+        assert job.missed_deadline is False
+
+    def test_jobs_ordered_by_deadline(self):
+        sim = Simulator()
+        order = []
+        edf = EdfScheduler(sim, on_complete=lambda j: order.append(j.label))
+        edf.submit(Job(exec_time=2.0, release_time=0.0, absolute_deadline=20.0, label="late"))
+        edf.submit(Job(exec_time=2.0, release_time=0.0, absolute_deadline=5.0, label="soon"))
+        sim.run()
+        assert order == ["soon", "late"]
+
+    def test_future_release_honoured(self):
+        sim = Simulator()
+        edf = EdfScheduler(sim)
+        job = Job(exec_time=1.0, release_time=5.0, absolute_deadline=10.0)
+        edf.submit(job)
+        sim.run()
+        assert job.completed_time == 6.0
+
+    def test_overload_misses_deadlines(self):
+        sim = Simulator()
+        edf = EdfScheduler(sim)
+        jobs = [
+            Job(exec_time=4.0, release_time=0.0, absolute_deadline=5.0)
+            for _ in range(3)
+        ]
+        for j in jobs:
+            edf.submit(j)
+        sim.run()
+        assert edf.miss_ratio() == pytest.approx(2 / 3)
+
+    def test_backlog_accounting(self):
+        sim = Simulator()
+        edf = EdfScheduler(sim)
+        edf.submit(Job(exec_time=4.0, release_time=0.0, absolute_deadline=10.0))
+        edf.submit(Job(exec_time=2.0, release_time=0.0, absolute_deadline=12.0))
+        sim.run(until=1.0)
+        assert edf.backlog() == pytest.approx(5.0)
+        assert edf.pending_jobs() == 2
+
+
+class TestEdfPreemption:
+    def test_earlier_deadline_preempts(self):
+        sim = Simulator()
+        order = []
+        edf = EdfScheduler(sim, on_complete=lambda j: order.append((j.label, sim.now)))
+        edf.submit(Job(exec_time=10.0, release_time=0.0, absolute_deadline=30.0, label="long"))
+
+        def arrive_urgent():
+            edf.submit(Job(exec_time=2.0, release_time=sim.now,
+                           absolute_deadline=sim.now + 3.0, label="urgent"))
+
+        sim.at(4.0, arrive_urgent)
+        sim.run()
+        assert order == [("urgent", 6.0), ("long", 12.0)]
+
+    def test_static_priority_dominates_deadline(self):
+        sim = Simulator()
+        order = []
+        edf = EdfScheduler(sim, on_complete=lambda j: order.append(j.label))
+        edf.submit(Job(exec_time=2.0, release_time=0.0, absolute_deadline=5.0,
+                       priority=1, label="lowprio-soon"))
+        edf.submit(Job(exec_time=2.0, release_time=0.0, absolute_deadline=50.0,
+                       priority=0, label="highprio-late"))
+        sim.run()
+        assert order == ["highprio-late", "lowprio-soon"]
+
+    def test_equal_priority_edf_within_band(self):
+        sim = Simulator()
+        order = []
+        edf = EdfScheduler(sim, on_complete=lambda j: order.append(j.label))
+        for label, dl in [("c", 30.0), ("a", 10.0), ("b", 20.0)]:
+            edf.submit(Job(exec_time=1.0, release_time=0.0, absolute_deadline=dl,
+                           priority=2, label=label))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_preempted_job_resumes_with_residual(self):
+        sim = Simulator()
+        edf = EdfScheduler(sim)
+        long = Job(exec_time=10.0, release_time=0.0, absolute_deadline=100.0, label="long")
+        edf.submit(long)
+        sim.at(5.0, lambda: edf.submit(
+            Job(exec_time=1.0, release_time=sim.now, absolute_deadline=sim.now + 2.0)))
+        sim.run()
+        assert long.completed_time == pytest.approx(11.0)
+
+
+class TestJobValidation:
+    def test_rejects_nonpositive_exec(self):
+        with pytest.raises(ValueError):
+            Job(exec_time=0.0, release_time=0.0, absolute_deadline=1.0)
+
+    def test_miss_flag_none_until_done(self):
+        job = Job(exec_time=1.0, release_time=0.0, absolute_deadline=1.0)
+        assert job.missed_deadline is None

@@ -1,0 +1,106 @@
+"""Unit tests for the protocol registry and shared config."""
+
+import pytest
+
+from repro.core.realtor import RealtorAgent
+from repro.protocols.adaptive_pull import AdaptivePullAgent
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.pure_push import PurePushAgent
+from repro.protocols.registry import (
+    PAPER_PROTOCOLS,
+    make_agent,
+    protocol_names,
+    register_protocol,
+)
+
+
+class TestRegistry:
+    def test_paper_protocols_all_resolvable(self, make_context):
+        for i, name in enumerate(PAPER_PROTOCOLS):
+            agent = make_agent(name, make_context(node_id=i))
+            assert agent is not None
+
+    def test_aliases(self, make_context):
+        assert isinstance(make_agent("pure-push", make_context(0)), PurePushAgent)
+        assert isinstance(make_agent("REALTOR-100", make_context(1)), RealtorAgent)
+        assert isinstance(make_agent("adaptive-pull", make_context(2)), AdaptivePullAgent)
+
+    def test_fixed_window_variant_registered(self, make_context):
+        agent = make_agent("pull-100-fixed", make_context(3))
+        assert isinstance(agent, AdaptivePullAgent)
+        assert agent.fixed_window
+
+    def test_unknown_name_raises(self, make_context):
+        with pytest.raises(KeyError):
+            make_agent("gossipd", make_context(0))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_protocol("realtor", lambda ctx: None)
+
+    def test_protocol_names_sorted(self):
+        names = protocol_names()
+        assert names == sorted(names)
+        assert "realtor" in names
+
+
+class TestProtocolConfig:
+    def test_paper_defaults(self):
+        cfg = ProtocolConfig()
+        assert cfg.threshold == 0.9
+        assert cfg.push_interval == 1.0
+        assert cfg.upper_limit == 100.0
+        assert cfg.scope == "neighbors"
+
+    def test_with_copy(self):
+        cfg = ProtocolConfig()
+        other = cfg.with_(threshold=0.5)
+        assert other.threshold == 0.5
+        assert cfg.threshold == 0.9  # frozen original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(threshold=1.0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(push_interval=0.0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(beta=1.0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(upper_limit=0.5)
+        with pytest.raises(ValueError):
+            ProtocolConfig(scope="galaxy")
+
+
+class TestSharedBehaviour:
+    def test_prime_view_network_scope(self, sim, transport, make_host, make_context):
+        from repro.protocols.base import ProtocolConfig as PC
+
+        ctx = make_context(0, config=PC(scope="network"))
+        agent = make_agent("realtor", ctx)
+        hosts = {n: make_host(n) for n in transport.topo.nodes() if n != 0}
+        hosts[0] = ctx.host
+        agent.prime_view(hosts)
+        assert len(agent.view) == transport.topo.num_nodes - 1
+
+    def test_prime_view_neighbor_scope(self, make_context, make_host, transport):
+        ctx = make_context(12)  # centre of the 5x5 mesh
+        agent = make_agent("realtor", ctx)
+        hosts = {n: make_host(n) for n in transport.topo.nodes()}
+        agent.prime_view(hosts)
+        assert agent.view.known_nodes() == [7, 11, 13, 17]
+
+    def test_usage_with_includes_task(self, make_context, make_task):
+        ctx = make_context(0)
+        agent = make_agent("realtor", ctx)
+        from repro.node.task import TaskOutcome
+
+        ctx.host.accept(make_task(size=88.0), TaskOutcome.LOCAL)
+        assert agent.would_exceed_threshold(make_task(size=5.0))
+        assert not agent.would_exceed_threshold(make_task(size=1.0))
+
+    def test_candidates_sized_to_task(self, make_context, make_task):
+        ctx = make_context(0)
+        agent = make_agent("realtor", ctx)
+        agent.view.update(1, 4.0, 0.5, True, 0.0)
+        agent.view.update(2, 50.0, 0.5, True, 0.0)
+        assert agent.candidates(make_task(size=10.0)) == [2]

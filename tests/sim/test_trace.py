@@ -1,0 +1,83 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.trace import Tracer
+
+
+class TestEmit:
+    def test_records_in_order(self):
+        t = Tracer()
+        t.emit(1.0, "a", x=1)
+        t.emit(2.0, "b", x=2)
+        assert [r.category for r in t.records] == ["a", "b"]
+        assert t.records[0]["x"] == 1
+
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.emit(1.0, "a")
+        assert len(t) == 0
+
+    def test_category_filter(self):
+        t = Tracer(categories={"keep"})
+        t.emit(1.0, "keep")
+        t.emit(1.0, "drop")
+        assert [r.category for r in t.records] == ["keep"]
+
+    def test_limit_drops_excess(self):
+        t = Tracer(limit=3)
+        for i in range(5):
+            t.emit(float(i), "x")
+        assert len(t) == 3
+        assert t.dropped == 2
+
+    def test_sink_streams_records(self):
+        t = Tracer()
+        seen = []
+        t.add_sink(lambda r: seen.append(r.category))
+        t.emit(0.0, "live")
+        assert seen == ["live"]
+
+
+class TestQueries:
+    def test_select_by_payload(self):
+        t = Tracer()
+        t.emit(0.0, "mig", src=1, dst=2)
+        t.emit(1.0, "mig", src=1, dst=3)
+        assert len(t.select("mig", src=1)) == 2
+        assert len(t.select("mig", dst=3)) == 1
+        assert t.count("mig") == 2
+
+    def test_categories_seen_histogram(self):
+        t = Tracer()
+        t.emit(0.0, "a")
+        t.emit(0.0, "a")
+        t.emit(0.0, "b")
+        assert t.categories_seen() == {"a": 2, "b": 1}
+
+    def test_between_is_half_open(self):
+        t = Tracer()
+        for time in (0.0, 1.0, 2.0):
+            t.emit(time, "x")
+        assert [r.time for r in t.between(0.0, 2.0)] == [0.0, 1.0]
+
+    def test_pairs_matches_request_response(self):
+        t = Tracer()
+        t.emit(0.0, "req", id=1)
+        t.emit(1.0, "rsp", id=1)
+        t.emit(2.0, "req", id=2)
+        t.emit(3.0, "rsp", id=2)
+        pairs = t.pairs("req", "rsp")
+        assert len(pairs) == 2
+        assert all(a.time < b.time for a, b in pairs)
+
+    def test_pairs_unmatched_request_left_out(self):
+        t = Tracer()
+        t.emit(0.0, "req")
+        t.emit(1.0, "rsp")
+        t.emit(2.0, "req")  # never answered
+        assert len(t.pairs("req", "rsp")) == 1
+
+    def test_clear(self):
+        t = Tracer()
+        t.emit(0.0, "x")
+        t.clear()
+        assert len(t) == 0 and t.dropped == 0

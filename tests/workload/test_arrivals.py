@@ -1,0 +1,123 @@
+"""Unit tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.workload.arrivals import (
+    ArrivalGenerator,
+    DeterministicArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+
+
+class TestPoisson:
+    def test_rate_matches_mean_gap(self):
+        rng = np.random.default_rng(0)
+        proc = PoissonArrivals(rate=4.0, rng=rng)
+        gaps = [proc.next_gap() for _ in range(4000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(0.25, rel=0.1)
+
+    def test_origin_uniform_over_live(self):
+        rng = np.random.default_rng(1)
+        proc = PoissonArrivals(rate=1.0, rng=rng)
+        counts = {n: 0 for n in range(5)}
+        for _ in range(5000):
+            counts[proc.next_origin(list(range(5)))] += 1
+        assert min(counts.values()) > 800
+
+    def test_no_live_nodes_drops(self):
+        proc = PoissonArrivals(1.0, np.random.default_rng(0))
+        assert proc.next_origin([]) is None
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0, np.random.default_rng(0))
+
+
+class TestDeterministic:
+    def test_fixed_gap_round_robin(self):
+        proc = DeterministicArrivals(gap=2.0)
+        assert proc.next_gap() == 2.0
+        origins = [proc.next_origin([10, 20, 30]) for _ in range(5)]
+        assert origins == [10, 20, 30, 10, 20]
+
+    def test_gap_validation(self):
+        with pytest.raises(ValueError):
+            DeterministicArrivals(0.0)
+
+
+class TestTrace:
+    def test_replays_in_order(self):
+        proc = TraceArrivals([(1.0, 3), (2.0, 7)])
+        assert proc.next_gap() == 1.0
+        assert proc.next_origin([3, 7]) == 3
+        assert proc.next_gap() == 2.0
+        assert proc.next_origin([3, 7]) == 7
+
+    def test_exhaustion(self):
+        proc = TraceArrivals([(1.0, 0)])
+        proc.next_gap()
+        assert proc.next_gap() == float("inf")
+        assert proc.exhausted
+
+    def test_dead_origin_redirected(self):
+        proc = TraceArrivals([(1.0, 5)])
+        proc.next_gap()
+        assert proc.next_origin([4, 9]) == 4  # nearest live id
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([])
+        with pytest.raises(ValueError):
+            TraceArrivals([(0.0, 1)])
+
+
+class TestGenerator:
+    def test_emits_until_horizon(self):
+        sim = Simulator(seed=0)
+        emitted = []
+        gen = ArrivalGenerator(
+            sim,
+            DeterministicArrivals(gap=1.0),
+            emitted.append,
+            lambda: [0, 1],
+            until=5.5,
+        )
+        sim.run(until=10.0)
+        assert gen.generated == 5
+        assert emitted == [0, 1, 0, 1, 0]
+
+    def test_stop_halts_emission(self):
+        sim = Simulator(seed=0)
+        emitted = []
+        gen = ArrivalGenerator(
+            sim, DeterministicArrivals(1.0), emitted.append, lambda: [0]
+        )
+        sim.at(3.5, gen.stop)
+        sim.run(until=10.0)
+        assert len(emitted) == 3
+
+    def test_no_live_nodes_counted_dropped(self):
+        sim = Simulator(seed=0)
+        gen = ArrivalGenerator(
+            sim, DeterministicArrivals(1.0), lambda o: None, lambda: [],
+            until=3.5,
+        )
+        sim.run(until=10.0)
+        assert gen.dropped_no_live_node == 3
+        assert gen.generated == 0
+
+    def test_poisson_count_near_expectation(self):
+        sim = Simulator(seed=3)
+        count = [0]
+        ArrivalGenerator(
+            sim,
+            PoissonArrivals(5.0, sim.streams.stream("arr")),
+            lambda o: count.__setitem__(0, count[0] + 1),
+            lambda: [0],
+            until=1000.0,
+        )
+        sim.run(until=1000.0)
+        assert count[0] == pytest.approx(5000, rel=0.05)

@@ -1,0 +1,137 @@
+"""Unit tests for attack injection."""
+
+import numpy as np
+import pytest
+
+from repro.network.faults import FaultManager, NodeState
+from repro.network.generators import paper_topology
+from repro.network.routing import Router
+from repro.sim.kernel import Simulator
+from repro.workload.attack import (
+    AttackPlan,
+    RandomFailures,
+    RegionAttack,
+    SweepAttack,
+)
+
+
+class TestSweepAttack:
+    def make(self, victims=3, recover=True):
+        return SweepAttack(
+            range(25),
+            start=100.0,
+            dwell=50.0,
+            victims=victims,
+            rng=np.random.default_rng(0),
+            recover=recover,
+        )
+
+    def test_plan_structure(self):
+        plan = self.make(victims=3).plan()
+        assert len(plan) == 6  # compromise + recover per victim
+        times = [t for t, _, _ in plan.transitions]
+        assert times[0] == 100.0
+
+    def test_sequential_dwell(self):
+        plan = self.make(victims=2).plan()
+        comps = [(t, n) for t, a, n in plan.transitions if a == "compromise"]
+        assert comps[1][0] - comps[0][0] == 50.0
+
+    def test_no_recover_mode(self):
+        plan = self.make(victims=2, recover=False).plan()
+        assert all(a == "compromise" for _, a, _ in plan.transitions)
+
+    def test_distinct_victims(self):
+        plan = self.make(victims=10).plan()
+        assert len(plan.nodes_touched) == 10
+
+    def test_installs_on_fault_manager(self):
+        sim = Simulator()
+        faults = FaultManager(sim, paper_topology())
+        plan = self.make(victims=2).plan()
+        plan.install(faults)
+        sim.run(until=120.0)
+        compromised = [n for n in range(25) if faults.is_compromised(n)]
+        assert len(compromised) == 1  # first victim active, not yet recovered
+        sim.run(until=1000.0)
+        assert all(faults.is_up(n) for n in range(25))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepAttack(range(5), start=0.0, dwell=0.0, victims=1,
+                        rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            SweepAttack(range(5), start=0.0, dwell=1.0, victims=9,
+                        rng=np.random.default_rng(0))
+
+
+class TestRegionAttack:
+    def test_victims_within_radius(self):
+        router = Router(paper_topology())
+        attack = RegionAttack(router, epicentre=12, radius=1,
+                              start=10.0, duration=5.0)
+        assert attack.victims == [7, 11, 12, 13, 17]
+
+    def test_radius_zero_only_epicentre(self):
+        router = Router(paper_topology())
+        attack = RegionAttack(router, epicentre=0, radius=0,
+                              start=0.0, duration=1.0)
+        assert attack.victims == [0]
+
+    def test_simultaneous_compromise_and_recovery(self):
+        sim = Simulator()
+        topo = paper_topology()
+        faults = FaultManager(sim, topo)
+        RegionAttack(Router(topo), 12, radius=1, start=10.0,
+                     duration=5.0).plan().install(faults)
+        sim.run(until=12.0)
+        assert sum(not faults.is_up(n) for n in topo.nodes()) == 5
+        sim.run(until=20.0)
+        assert all(faults.is_up(n) for n in topo.nodes())
+
+    def test_validation(self):
+        router = Router(paper_topology())
+        with pytest.raises(ValueError):
+            RegionAttack(router, 0, radius=-1, start=0.0, duration=1.0)
+
+
+class TestRandomFailures:
+    def test_plan_is_sorted_and_bounded(self):
+        plan = RandomFailures(
+            range(10), horizon=1000.0, mtbf=100.0, mttr=20.0,
+            rng=np.random.default_rng(0),
+        ).plan()
+        times = [t for t, _, _ in plan.transitions]
+        assert times == sorted(times)
+        assert all(t < 1000.0 for t in times)
+        assert len(plan) > 0
+
+    def test_crash_recover_alternate_per_node(self):
+        plan = RandomFailures(
+            [0], horizon=10_000.0, mtbf=100.0, mttr=10.0,
+            rng=np.random.default_rng(1),
+        ).plan()
+        actions = [a for _, a, n in plan.transitions if n == 0]
+        for prev, cur in zip(actions, actions[1:]):
+            assert prev != cur  # crash, recover, crash, ...
+
+    def test_deterministic(self):
+        mk = lambda: RandomFailures(
+            range(5), horizon=500.0, mtbf=50.0, mttr=10.0,
+            rng=np.random.default_rng(7),
+        ).plan()
+        assert mk().transitions == mk().transitions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomFailures(range(2), horizon=0.0, mtbf=1.0, mttr=1.0,
+                           rng=np.random.default_rng(0))
+
+
+class TestAttackPlan:
+    def test_unknown_action_rejected(self):
+        sim = Simulator()
+        faults = FaultManager(sim, paper_topology())
+        plan = AttackPlan(((1.0, "explode", 0),))
+        with pytest.raises(ValueError):
+            plan.install(faults)

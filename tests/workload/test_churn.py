@@ -1,0 +1,94 @@
+"""Unit tests for churn schedules."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.workload.churn import ChurnEvent, ChurnSchedule, poisson_churn
+
+
+class TestChurnSchedule:
+    def test_events_sorted_by_time(self):
+        sched = ChurnSchedule([
+            ChurnEvent(5.0, "leave", 1),
+            ChurnEvent(1.0, "join", 9, (0,)),
+        ])
+        assert [e.time for e in sched.events] == [1.0, 5.0]
+
+    def test_install_dispatches_callbacks(self):
+        sim = Simulator()
+        joined, left = [], []
+        sched = ChurnSchedule([
+            ChurnEvent(1.0, "join", 9, (0, 1)),
+            ChurnEvent(2.0, "leave", 3),
+        ])
+        sched.install(sim, lambda n, a: joined.append((n, a)), left.append)
+        sim.run()
+        assert joined == [(9, (0, 1))]
+        assert left == [3]
+
+    def test_unknown_action_rejected(self):
+        sim = Simulator()
+        sched = ChurnSchedule([ChurnEvent(1.0, "teleport", 0)])
+        with pytest.raises(ValueError):
+            sched.install(sim, lambda n, a: None, lambda n: None)
+
+    def test_join_leave_accessors(self):
+        sched = ChurnSchedule([
+            ChurnEvent(1.0, "join", 9, (0,)),
+            ChurnEvent(2.0, "leave", 3),
+            ChurnEvent(3.0, "join", 10, (9,)),
+        ])
+        assert len(sched.joins) == 2
+        assert len(sched.leaves) == 1
+        assert len(sched) == 3
+
+
+class TestPoissonChurn:
+    def test_rates_roughly_respected(self):
+        sched = poisson_churn(
+            range(50), horizon=1000.0, join_rate=0.1, leave_rate=0.05,
+            rng=np.random.default_rng(0),
+        )
+        joins, leaves = len(sched.joins), len(sched.leaves)
+        assert joins == pytest.approx(100, rel=0.35)
+        assert leaves == pytest.approx(50, rel=0.5)
+
+    def test_new_ids_fresh(self):
+        sched = poisson_churn(
+            range(10), horizon=500.0, join_rate=0.05, leave_rate=0.0,
+            rng=np.random.default_rng(1),
+        )
+        ids = [e.node for e in sched.joins]
+        assert all(i >= 10 for i in ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_attachments_reference_existing(self):
+        sched = poisson_churn(
+            range(10), horizon=500.0, join_rate=0.05, leave_rate=0.02,
+            rng=np.random.default_rng(2), attach_degree=2,
+        )
+        seen = set(range(10))
+        for e in sched.events:
+            if e.action == "join":
+                assert all(a in seen for a in e.attach_to)
+                seen.add(e.node)
+            else:
+                seen.discard(e.node)
+
+    def test_never_empties_system(self):
+        sched = poisson_churn(
+            range(3), horizon=5000.0, join_rate=0.0, leave_rate=1.0,
+            rng=np.random.default_rng(3),
+        )
+        assert len(sched.leaves) <= 1  # keeps >= 2 nodes alive
+
+    def test_zero_rates_empty_schedule(self):
+        sched = poisson_churn(range(5), horizon=100.0, join_rate=0.0,
+                              leave_rate=0.0, rng=np.random.default_rng(0))
+        assert len(sched) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_churn(range(5), horizon=-1.0, join_rate=0.1,
+                          leave_rate=0.1, rng=np.random.default_rng(0))
