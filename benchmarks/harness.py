@@ -1,0 +1,225 @@
+"""Benchmark regression harness — records the engine's perf trajectory.
+
+Runs the engine micro-benchmarks (the same hot loops
+``benchmarks/test_perf_engine.py`` times under pytest-benchmark) plus one
+macro sweep (REALTOR on the 5x5 paper mesh), and writes ``BENCH_engine.json``
+at the repo root.  Every PR that touches the kernel, transport, or sweep
+machinery should re-run this and compare against the committed numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/harness.py            # full run
+    PYTHONPATH=src python benchmarks/harness.py --smoke    # CI smoke (~seconds)
+    PYTHONPATH=src python benchmarks/harness.py -o my.json # custom output
+
+Timing protocol: each micro-benchmark is warmed once, then timed
+``--repeats`` times; the *minimum* wall time is reported (the standard
+noise-robust estimator for CPU-bound loops — any run can only be slowed
+down by interference, never sped up).  Throughputs are derived from the
+minimum.  ``baseline`` in the JSON carries the pre-fast-path numbers so
+speedups are visible without digging through git history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.experiments.config import ExperimentConfig, paper_config
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweep import run_sweep
+from repro.network.generators import paper_topology
+from repro.network.routing import Router
+from repro.network.transport import Transport
+from repro.node.queue import WorkQueue
+from repro.node.task import Task, TaskOutcome
+from repro.sim.kernel import Simulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+#: Pre-fast-path timings (seed kernel, this container, 2026-08-06) — the
+#: denominators for the speedup column.  Update only when the benchmark
+#: *workloads* change, never to flatter a regression.
+BASELINE = {
+    "event_throughput": {"min_seconds": 0.037671, "ops": 20_000},
+    "flood_throughput": {"min_seconds": 0.102455, "ops": 500},
+    "queue_admission_throughput": {"min_seconds": None, "ops": 10_000},
+    "routing_query_throughput": {"min_seconds": None, "ops": 625},
+}
+
+
+# --------------------------------------------------------------------------
+# Micro-benchmarks — kept in lockstep with benchmarks/test_perf_engine.py
+# --------------------------------------------------------------------------
+
+def bench_event_throughput(n: int = 20_000) -> int:
+    """Schedule+fire cycles through the kernel."""
+    sim = Simulator()
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < n:
+            sim.after(0.001, tick)
+
+    sim.after(0.001, tick)
+    sim.run()
+    return count[0]
+
+
+def bench_flood_throughput(n: int = 500) -> int:
+    """Floods over the 25-node paper mesh (cached flood structure)."""
+    sim = Simulator()
+    transport = Transport(sim, paper_topology())
+    for node in range(25):
+        transport.register(node, "adv", lambda d: None)
+    for i in range(n):
+        transport.flood(i % 25, "adv", None)
+    sim.run()
+    return transport.delivered_messages
+
+
+def bench_queue_admission_throughput(n: int = 10_000) -> int:
+    """Admissions + completions through one work queue."""
+    sim = Simulator()
+    q = WorkQueue(sim, capacity=1e12)
+    for _ in range(n):
+        t = Task(size=0.5, arrival_time=0.0, origin=0)
+        t.mark_admitted(0, 0.0, TaskOutcome.LOCAL)
+        q.admit(t)
+    sim.run()
+    return q.completed_count
+
+
+def bench_routing_query_throughput() -> int:
+    """All-pairs distance lookups on a warmed router."""
+    router = Router(paper_topology())
+    router.mean_shortest_path()
+    total = 0
+    for u in range(25):
+        for v in range(25):
+            total += router.distance(u, v)
+    return total
+
+
+def _time_best_of(fn: Callable[[], object], repeats: int) -> float:
+    fn()  # warm caches / allocators
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+# --------------------------------------------------------------------------
+# Macro benchmark — one Section 5-shaped sweep
+# --------------------------------------------------------------------------
+
+def bench_macro_sweep(horizon: float, parallel: bool) -> Dict[str, float]:
+    """REALTOR on the 5x5 paper mesh: one run + a small CRN sweep."""
+    t0 = time.perf_counter()
+    result = run_experiment(paper_config("realtor", 6.0, horizon=horizon))
+    single = time.perf_counter() - t0
+
+    base = ExperimentConfig(horizon=horizon, seed=1)
+    t0 = time.perf_counter()
+    run_sweep(["realtor"], [2.0, 6.0, 10.0], base, parallel=parallel)
+    sweep = time.perf_counter() - t0
+    return {
+        "single_run_seconds": single,
+        "single_run_sim_rate": horizon / single,
+        "single_run_generated": float(result.generated),
+        "sweep_3pt_seconds": sweep,
+        "sweep_parallel": float(parallel),
+        "horizon": horizon,
+    }
+
+
+# --------------------------------------------------------------------------
+# CLI
+# --------------------------------------------------------------------------
+
+def run_harness(
+    *, smoke: bool = False, repeats: int = 5, output: Optional[Path] = None
+) -> dict:
+    """Run every benchmark and write the JSON report; returns the report."""
+    scale = 0.1 if smoke else 1.0
+    micro_specs = [
+        ("event_throughput", lambda: bench_event_throughput(int(20_000 * scale)),
+         int(20_000 * scale)),
+        ("flood_throughput", lambda: bench_flood_throughput(int(500 * scale)),
+         int(500 * scale)),
+        ("queue_admission_throughput",
+         lambda: bench_queue_admission_throughput(int(10_000 * scale)),
+         int(10_000 * scale)),
+        ("routing_query_throughput", bench_routing_query_throughput, 625),
+    ]
+    micro: Dict[str, dict] = {}
+    for name, fn, ops in micro_specs:
+        best = _time_best_of(fn, repeats)
+        entry = {
+            "min_seconds": round(best, 6),
+            "ops": ops,
+            "ops_per_second": round(ops / best, 1),
+        }
+        ref = BASELINE.get(name, {})
+        if not smoke and ref.get("min_seconds") and ref.get("ops") == ops:
+            entry["baseline_min_seconds"] = ref["min_seconds"]
+            entry["speedup_vs_baseline"] = round(ref["min_seconds"] / best, 2)
+        micro[name] = entry
+        print(f"  {name:32s} {best*1e3:9.2f} ms"
+              + (f"  ({entry['speedup_vs_baseline']}x vs baseline)"
+                 if "speedup_vs_baseline" in entry else ""))
+
+    horizon = 60.0 if smoke else 500.0
+    macro = bench_macro_sweep(horizon, parallel=not smoke)
+    print(f"  {'macro_realtor_sweep':32s} {macro['sweep_3pt_seconds']*1e3:9.2f} ms"
+          f"  ({macro['single_run_sim_rate']:.0f} sim-s/wall-s)")
+
+    report = {
+        "schema": "bench-engine/1",
+        "mode": "smoke" if smoke else "full",
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "micro": micro,
+        "macro_realtor": {k: round(v, 4) for k, v in macro.items()},
+    }
+    out = output if output is not None else DEFAULT_OUTPUT
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return report
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workloads, single repeat — CI wiring check, numbers not "
+             "comparable to a full run",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed repetitions per micro-benchmark (min is reported)",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help=f"report path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    repeats = 1 if args.smoke else max(1, args.repeats)
+    run_harness(smoke=args.smoke, repeats=repeats, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

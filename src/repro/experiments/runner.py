@@ -10,6 +10,7 @@ need to poke at internals mid-run.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -299,6 +300,11 @@ def build_system(cfg: ExperimentConfig) -> System:
     demand_rng = rng_streams.stream("demands")
     demand_means = dict(cfg.demand_means)
 
+    # Per-run task ids: the module-global Task counter would drift between
+    # runs in one process (and between pool workers), breaking bit-identical
+    # traces for identical seeds.  Each system numbers its tasks from 0.
+    task_ids = itertools.count()
+
     def emit(origin: int) -> None:
         demand: Dict[str, float] = {}
         for name, mean in demand_means.items():
@@ -317,6 +323,7 @@ def build_system(cfg: ExperimentConfig) -> System:
             origin=origin,
             relative_deadline=deadline,
             demand=demand,
+            task_id=next(task_ids),
         )
         coordinator.place_task(task)
 

@@ -23,11 +23,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, NamedTuple, Optional
 
 from ..sim.events import Priority
 from ..sim.kernel import Simulator
-from .routing import Router
+from .routing import Router, bfs_distances
 from .topology import NodeId, Topology
 
 __all__ = ["Transport", "Delivery", "CostModel", "UnicastCostMode"]
@@ -70,9 +70,14 @@ class CostModel:
         return float(max(d, 0))
 
 
-@dataclass(frozen=True)
-class Delivery:
-    """What a handler receives: the payload plus delivery metadata."""
+class Delivery(NamedTuple):
+    """What a handler receives: the payload plus delivery metadata.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one of these is
+    built per delivered message (the dominant allocation of a flood-heavy
+    run) and tuple construction skips the per-field
+    ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     src: NodeId
     dst: NodeId
@@ -193,18 +198,32 @@ class Transport:
             receivers = tuple(
                 n for n in self.topo.neighbors(src) if self.is_up(n)
             )
-            depth = {n: 1 for n in receivers}
+            depth: Optional[dict] = None  # every receiver is depth 1
             _, _, links = self._flood_structure(src)
         else:
             receivers, depth, links = self._flood_structure(src)
-        cost = (
-            self.cost_model.flood_cost_override
-            if self.cost_model.flood_cost_override is not None
-            else float(links)
-        )
-        self._charge(kind, cost)
-        for dst in receivers:
-            self._deliver_later(src, dst, kind, payload, depth[dst])
+        cost = self.cost_model.flood_cost_override
+        if cost is None:
+            cost = float(links)
+        if self.on_cost is not None:
+            self.on_cost(kind, cost)
+        # Fan-out fast path: one bound-method event per receiver (no
+        # per-message closure), with the zero-latency case skipping the
+        # depth lookups entirely.  Scheduling order — and therefore the
+        # event sequence — matches the generic path exactly.
+        now = self.sim.now
+        after = self.sim.after
+        deliver = self._deliver
+        latency = self.per_hop_latency
+        if latency == 0.0:
+            for dst in receivers:
+                after(0.0, deliver, src, dst, kind, payload, now,
+                      priority=Priority.MESSAGE)
+        else:
+            for dst in receivers:
+                hops = 1 if depth is None else depth[dst]
+                after(latency * hops, deliver, src, dst, kind, payload, now,
+                      priority=Priority.MESSAGE)
         return list(receivers)
 
     def _flood_structure(self, src: NodeId) -> tuple:
@@ -226,8 +245,6 @@ class Transport:
                 (c for c in live.connected_components() if src in c), frozenset()
             )
             sub = live.subgraph(comp)
-            from .routing import bfs_distances
-
             depth = bfs_distances(sub, src)
             receivers = tuple(d for d in sorted(comp) if d != src)
             result = (receivers, depth, sub.num_links)
@@ -278,26 +295,22 @@ class Transport:
         self, src: NodeId, dst: NodeId, kind: str, payload: Any, hops: int
     ) -> None:
         delay = self.per_hop_latency * max(hops, 0)
-        sent_at = self.sim.now
+        self.sim.after(
+            delay, self._deliver, src, dst, kind, payload, self.sim.now,
+            priority=Priority.MESSAGE,
+        )
 
-        def _deliver() -> None:
-            if not self.is_up(dst):
-                self.dropped_messages += 1
-                return
-            handler = self._handlers.get(dst, {}).get(kind)
-            if handler is None:
-                self.dropped_messages += 1
-                return
-            self.delivered_messages += 1
-            handler(
-                Delivery(
-                    src=src,
-                    dst=dst,
-                    kind=kind,
-                    payload=payload,
-                    sent_at=sent_at,
-                    delivered_at=self.sim.now,
-                )
-            )
-
-        self.sim.after(delay, _deliver, priority=Priority.MESSAGE)
+    def _deliver(
+        self, src: NodeId, dst: NodeId, kind: str, payload: Any, sent_at: float
+    ) -> None:
+        """Event callback for one message arrival (liveness re-checked)."""
+        if not self.is_up(dst):
+            self.dropped_messages += 1
+            return
+        handlers = self._handlers.get(dst)
+        handler = handlers.get(kind) if handlers is not None else None
+        if handler is None:
+            self.dropped_messages += 1
+            return
+        self.delivered_messages += 1
+        handler(Delivery(src, dst, kind, payload, sent_at, self.sim.now))

@@ -10,6 +10,13 @@ The kernel (:mod:`repro.sim.kernel`) operates on a binary-heap agenda of
 * ``seq`` — global insertion order, making execution fully deterministic
   even for identical ``(time, priority)`` pairs.
 
+Fast path: the heap stores ``(time, priority, seq, event)`` tuples rather
+than bare :class:`Event` objects.  ``seq`` is unique, so tuple comparison
+never reaches the event and every heap sift runs on C-level tuple
+compares instead of a Python ``__lt__`` — the ordering key is the exact
+same triple, so pop order is bit-identical to the object-heap version
+(pinned by the golden-trace tests).
+
 Cancellation is O(1) lazy: :meth:`Event.cancel` flips a flag and the kernel
 skips the record when it is popped.  This is the standard approach for
 simulations with many timer resets (REALTOR resets HELP timers constantly)
@@ -18,10 +25,12 @@ because it avoids O(n) heap surgery.
 
 from __future__ import annotations
 
-import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 __all__ = ["Event", "EventQueue", "Priority"]
+
+_INF = float("inf")
 
 
 class Priority:
@@ -111,11 +120,13 @@ class EventQueue:
     property-tested in isolation.
     """
 
-    __slots__ = ("_heap", "_counter", "_live")
+    __slots__ = ("_heap", "_next_seq", "_live")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        # entries are (time, priority, seq, Event); seq uniqueness keeps
+        # tuple comparison from ever touching the Event itself
+        self._heap: list[tuple] = []
+        self._next_seq = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -137,12 +148,12 @@ class EventQueue:
         Returns the :class:`Event` handle, which the caller may
         :meth:`~Event.cancel`.
         """
-        if time != time or time == float("inf"):  # NaN / inf guard
+        if time != time or time == _INF:  # NaN / inf guard
             raise ValueError(f"non-finite event time: {time!r}")
-        import heapq
-
-        ev = Event(time, priority, next(self._counter), fn, tuple(args))
-        heapq.heappush(self._heap, ev)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        ev = Event(time, priority, seq, fn, args)
+        heappush(self._heap, (time, priority, seq, ev))
         self._live += 1
         return ev
 
@@ -151,27 +162,44 @@ class EventQueue:
 
         Cancelled records encountered on the way are discarded.
         """
-        import heapq
-
         heap = self._heap
         while heap:
-            ev = heapq.heappop(heap)
+            ev = heappop(heap)[3]
             if ev._cancelled:
                 continue
             self._live -= 1
             return ev
         return None
 
-    def peek_time(self) -> Optional[float]:
-        """Time of the earliest live event without removing it."""
-        import heapq
+    def pop_until(self, limit: Optional[float]) -> Optional[Event]:
+        """Single-pass pop of the earliest live event with ``time <= limit``.
 
+        Returns ``None`` when the agenda is empty or the next live event
+        lies beyond ``limit`` (which is left on the heap).  This is the
+        kernel's hot-loop primitive: one heap traversal instead of the
+        ``peek_time`` + ``pop`` pair, with identical pop order.
+        """
         heap = self._heap
         while heap:
-            if heap[0]._cancelled:
-                heapq.heappop(heap)
+            entry = heap[0]
+            if entry[3]._cancelled:
+                heappop(heap)
                 continue
-            return heap[0].time
+            if limit is not None and entry[0] > limit:
+                return None
+            heappop(heap)
+            self._live -= 1
+            return entry[3]
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event without removing it."""
+        heap = self._heap
+        while heap:
+            if heap[0][3]._cancelled:
+                heappop(heap)
+                continue
+            return heap[0][0]
         return None
 
     def note_cancelled(self) -> None:

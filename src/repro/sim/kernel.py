@@ -18,9 +18,10 @@ tests.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional
 
-from .events import Event, EventQueue, Priority
+from .events import _INF, Event, EventQueue, Priority
 from .rng import RandomStreams
 from .trace import Tracer
 
@@ -145,7 +146,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time:.6g}, clock already at {self._now:.6g}"
             )
-        return self.queue.schedule(time, fn, *args, priority=priority)
+        return self._push(time, fn, args, priority)
 
     def after(
         self,
@@ -157,7 +158,27 @@ class Simulator:
         """Schedule ``fn(*args)`` after a non-negative ``delay``."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
-        return self.queue.schedule(self._now + delay, fn, *args, priority=priority)
+        return self._push(self._now + delay, fn, args, priority)
+
+    def _push(
+        self, time: float, fn: Callable[..., Any], args: tuple, priority: int
+    ) -> Event:
+        """Scheduling fast path shared by :meth:`at` and :meth:`after`.
+
+        Equivalent to :meth:`EventQueue.schedule` — same validation, same
+        seq allocation, same heap entry — minus one call frame and the
+        ``*args`` repacking.  Kept in lockstep with the queue so handles
+        from either path are interchangeable.
+        """
+        if time != time or time == _INF:  # NaN / inf guard
+            raise ValueError(f"non-finite event time: {time!r}")
+        queue = self.queue
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        ev = Event(time, priority, seq, fn, args)
+        heappush(queue._heap, (time, priority, seq, ev))
+        queue._live += 1
+        return ev
 
     def periodic(
         self,
@@ -200,22 +221,34 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         budget = max_events if max_events is not None else float("inf")
+        # Hot loop: the pop is inlined over the queue's heap (same logic as
+        # EventQueue.pop_until) with locals bound outside the loop, saving a
+        # method call plus attribute loads per event.  Pop order is the
+        # tuple key (time, priority, seq) either way — bit-identical to the
+        # method-call path, pinned by the golden-trace tests.
+        queue = self.queue
+        heap = queue._heap
+        executed = 0
         try:
             while budget > 0 and not self._stop_requested:
-                t = self.queue.peek_time()
-                if t is None:
+                while heap and heap[0][3]._cancelled:
+                    heappop(heap)
+                if not heap:
                     break
-                if until is not None and t > until:
+                entry = heap[0]
+                if until is not None and entry[0] > until:
                     break
-                ev = self.queue.pop()
-                assert ev is not None
-                self._now = ev.time
+                heappop(heap)
+                queue._live -= 1
+                ev = entry[3]
+                self._now = entry[0]
                 ev.fn(*ev.args)
-                self._events_executed += 1
+                executed += 1
                 budget -= 1
             if until is not None and self._now < until and not self._stop_requested:
                 self._now = until
         finally:
+            self._events_executed += executed
             self._running = False
         for fn in self._finalizers:
             fn()

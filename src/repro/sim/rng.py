@@ -52,6 +52,8 @@ class RandomStreams:
     True
     """
 
+    __slots__ = ("seed", "_streams")
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
@@ -60,14 +62,17 @@ class RandomStreams:
         """Return the generator for ``name``, creating it on first use.
 
         Repeated calls return the *same* generator object (its state
-        advances as it is consumed).
+        advances as it is consumed).  Lookups are try/except on the cache
+        dict — the hit path (every call but the first per name) does one
+        hash probe and no branching on ``None``.
         """
-        gen = self._streams.get(name)
-        if gen is None:
+        try:
+            return self._streams[name]
+        except KeyError:
             ss = np.random.SeedSequence(derive_seed(self.seed, name))
             gen = np.random.default_rng(ss)
             self._streams[name] = gen
-        return gen
+            return gen
 
     def fresh(self, name: str) -> np.random.Generator:
         """Return a *new* generator for ``name`` with its initial state.

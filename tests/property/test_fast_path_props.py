@@ -1,0 +1,157 @@
+"""Property tests pinning the engine fast path.
+
+Two structures carry the fast path: the tuple-keyed event heap (pop order
+must stay the exact ``(time, priority, seq)`` ordering, FIFO within full
+ties) and the per-source flood-structure cache in the transport (must be
+invalidated by topology *and* liveness changes, never serve stale
+receiver sets).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.faults import FaultManager
+from repro.network.generators import mesh
+from repro.network.transport import Transport
+from repro.sim.events import EventQueue, Priority
+from repro.sim.kernel import Simulator
+
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                  allow_infinity=False)
+priorities = st.sampled_from(
+    [Priority.STATE, Priority.MESSAGE, Priority.ARRIVAL, Priority.SAMPLING]
+)
+
+
+class TestEventQueueTieOrdering:
+    @given(st.lists(st.tuples(times, priorities), min_size=1, max_size=200))
+    def test_full_ties_pop_in_insertion_order(self, entries):
+        """Equal (time, priority) pairs must drain strictly FIFO."""
+        q = EventQueue()
+        for i, (t, p) in enumerate(entries):
+            q.schedule(t, lambda: None, i, priority=p)
+        popped = []
+        while q:
+            ev = q.pop()
+            popped.append((ev.time, ev.priority, ev.args[0]))
+        # stable sort by (time, priority) of the insertion sequence is the
+        # exact specification of the queue's ordering contract
+        expected = sorted(
+            ((t, p, i) for i, (t, p) in enumerate(entries)),
+            key=lambda x: (x[0], x[1]),
+        )
+        assert popped == expected
+
+    @given(st.lists(st.tuples(times, priorities), min_size=1, max_size=100))
+    def test_kernel_and_queue_handles_interleave(self, entries):
+        """sim.at handles and queue.schedule handles share one seq space."""
+        sim = Simulator()
+        fired = []
+        for i, (t, p) in enumerate(entries):
+            if i % 2 == 0:
+                sim.at(t, fired.append, i, priority=p)
+            else:
+                sim.queue.schedule(t, fired.append, i, priority=p)
+        sim.run()
+        expected = [
+            i
+            for _, _, i in sorted(
+                ((t, p, i) for i, (t, p) in enumerate(entries)),
+                key=lambda x: (x[0], x[1]),
+            )
+        ]
+        assert fired == expected
+
+    @given(st.lists(times, min_size=1, max_size=100))
+    def test_pop_until_matches_peek_then_pop(self, ts):
+        """The single-pass pop is equivalent to the peek+pop pair."""
+        a, b = EventQueue(), EventQueue()
+        for t in ts:
+            a.schedule(t, lambda: None)
+            b.schedule(t, lambda: None)
+        limit = sorted(ts)[len(ts) // 2]
+        while True:
+            ev_a = a.pop_until(limit)
+            t_b = b.peek_time()
+            ev_b = b.pop() if (t_b is not None and t_b <= limit) else None
+            if ev_a is None:
+                assert ev_b is None
+                break
+            assert (ev_a.time, ev_a.seq) == (ev_b.time, ev_b.seq)
+        assert len(a) == len(b)
+
+
+def _flood_receivers(transport, src):
+    """Ground-truth receiver set computed fresh (no cache)."""
+    transport._flood_cache.clear()
+    receivers, _, links = transport._flood_structure(src)
+    transport._flood_cache.clear()
+    return receivers, links
+
+
+class TestFloodCacheCoherence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=15), min_size=0, max_size=6),
+        st.integers(min_value=0, max_value=15),
+    )
+    def test_cache_tracks_crashes_and_recoveries(self, to_crash, src):
+        sim = Simulator()
+        topo = mesh(4, 4)
+        faults = FaultManager(sim, topo)
+        transport = Transport(
+            sim, topo,
+            is_up=faults.can_communicate,
+            liveness_version=lambda: faults.version,
+        )
+        transport._flood_structure(src)  # warm the cache on the pristine overlay
+        for node in to_crash:
+            if faults.is_up(node):
+                faults.crash(node)
+            cached = transport._flood_structure(src)[:1]
+            fresh = _flood_receivers(transport, src)[:1]
+            assert cached == fresh, "stale flood cache after crash"
+        for node in to_crash:
+            if not faults.is_up(node):
+                faults.recover(node)
+            cached = transport._flood_structure(src)[:1]
+            fresh = _flood_receivers(transport, src)[:1]
+            assert cached == fresh, "stale flood cache after recovery"
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=8))
+    def test_cache_tracks_topology_growth(self, src):
+        sim = Simulator()
+        topo = mesh(3, 3)
+        transport = Transport(sim, topo)
+        before, links_before = _flood_receivers(transport, src)
+        transport._flood_structure(src)  # populate the cache
+        new_node = 100
+        topo.add_node(new_node)
+        topo.add_link(new_node, src)
+        after, _, links_after = transport._flood_structure(src)
+        assert new_node in after
+        assert links_after == links_before + 1
+        assert set(after) == set(before) | {new_node}
+
+    def test_flood_delivers_to_cached_receivers_only_if_live(self):
+        """A node crashing between floods must stop receiving."""
+        sim = Simulator()
+        topo = mesh(3, 3)
+        faults = FaultManager(sim, topo)
+        transport = Transport(
+            sim, topo,
+            is_up=faults.can_communicate,
+            liveness_version=lambda: faults.version,
+        )
+        got = {n: 0 for n in topo.nodes()}
+        for n in topo.nodes():
+            transport.register(n, "adv", lambda d: got.__setitem__(d.dst, got[d.dst] + 1))
+        transport.flood(0, "adv", None)
+        sim.run()
+        assert got[5] == 1
+        faults.crash(5)
+        transport.flood(0, "adv", None)
+        sim.run()
+        assert got[5] == 1  # crashed node no longer reached
+        assert got[1] == 2
