@@ -1,0 +1,96 @@
+"""CI regression gate for the node-layer fast path.
+
+Re-measures the ``queue_admission_throughput`` micro-benchmark at full
+size (it is fast enough for CI post-fast-path: tens of milliseconds) and
+fails when its throughput drops more than ``--tolerance`` (default 30%)
+below the committed ``BENCH_engine.json``.  The other micro-benchmarks
+stay advisory — this one guards the O(1) queue lifecycle, the win that
+makes paper-scale sweeps tractable.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --tolerance 0.5 -o gate.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from harness import (
+    DEFAULT_OUTPUT,
+    _time_best_of,
+    bench_queue_admission_throughput,
+)
+
+GATED = "queue_admission_throughput"
+OPS = 10_000
+
+
+def check(
+    committed_path: Path,
+    tolerance: float,
+    repeats: int = 3,
+    output: Optional[Path] = None,
+) -> int:
+    committed = json.loads(committed_path.read_text())
+    if committed.get("mode") != "full":
+        print(f"{committed_path} is a smoke report; nothing to gate against")
+        return 0
+    entry = committed.get("micro", {}).get(GATED)
+    if not entry or entry.get("ops") != OPS:
+        print(f"{committed_path} has no full-size {GATED} entry; skipping gate")
+        return 0
+    committed_ops = entry["ops_per_second"]
+
+    best = _time_best_of(lambda: bench_queue_admission_throughput(OPS), repeats)
+    measured_ops = OPS / best
+    floor = (1.0 - tolerance) * committed_ops
+    ok = measured_ops >= floor
+    print(
+        f"{GATED}: measured {measured_ops:,.0f} ops/s, "
+        f"committed {committed_ops:,.0f} ops/s, floor {floor:,.0f} ops/s "
+        f"({(1.0 - tolerance):.0%} of committed) -> {'OK' if ok else 'REGRESSION'}"
+    )
+    if output is not None:
+        output.write_text(json.dumps({
+            "benchmark": GATED,
+            "ops": OPS,
+            "measured_min_seconds": round(best, 6),
+            "measured_ops_per_second": round(measured_ops, 1),
+            "committed_ops_per_second": committed_ops,
+            "tolerance": tolerance,
+            "passed": ok,
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {output}")
+    return 0 if ok else 1
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--committed", type=Path, default=DEFAULT_OUTPUT,
+        help=f"committed benchmark report (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.3,
+        help="allowed fractional drop below the committed throughput",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed repetitions (min is compared)",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="optional JSON gate report (for CI artifacts)",
+    )
+    args = parser.parse_args(argv)
+    return check(args.committed, args.tolerance, args.repeats, args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

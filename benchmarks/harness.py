@@ -36,6 +36,7 @@ from repro.experiments.sweep import run_sweep
 from repro.network.generators import paper_topology
 from repro.network.routing import Router
 from repro.network.transport import Transport
+from repro.node.host import Host
 from repro.node.queue import WorkQueue
 from repro.node.task import Task, TaskOutcome
 from repro.sim.kernel import Simulator
@@ -46,10 +47,18 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
 #: Pre-fast-path timings (seed kernel, this container, 2026-08-06) — the
 #: denominators for the speedup column.  Update only when the benchmark
 #: *workloads* change, never to flatter a regression.
+#:
+#: ``queue_scaling_50k`` is a single seed run (best-of-N was impractical at
+#: ~13 minutes per repetition under the O(n^2) resident-list rebuild); all
+#: other entries are best-of-N minima.
 BASELINE = {
     "event_throughput": {"min_seconds": 0.037671, "ops": 20_000},
     "flood_throughput": {"min_seconds": 0.102455, "ops": 500},
-    "queue_admission_throughput": {"min_seconds": None, "ops": 10_000},
+    "queue_admission_throughput": {"min_seconds": 9.949199, "ops": 10_000},
+    "queue_scaling_1k": {"min_seconds": 0.030802, "ops": 1_000},
+    "queue_scaling_50k": {"min_seconds": 780.915716, "ops": 50_000},
+    "queue_steady_state": {"min_seconds": 0.293642, "ops": 20_000},
+    "monitor_churn": {"min_seconds": 0.366862, "ops": 20_000},
     "routing_query_throughput": {"min_seconds": None, "ops": 625},
 }
 
@@ -86,7 +95,13 @@ def bench_flood_throughput(n: int = 500) -> int:
 
 
 def bench_queue_admission_throughput(n: int = 10_000) -> int:
-    """Admissions + completions through one work queue."""
+    """Pure-lifecycle micro: admissions + completions through one queue.
+
+    The effectively unbounded capacity keeps every task resident until the
+    run phase, so this stresses the admit/complete lifecycle itself (the
+    seed rebuilt the resident list per completion — O(n^2) overall).  Run
+    at n ∈ {1k, 10k, 50k} it traces the scaling curve.
+    """
     sim = Simulator()
     q = WorkQueue(sim, capacity=1e12)
     for _ in range(n):
@@ -95,6 +110,56 @@ def bench_queue_admission_throughput(n: int = 10_000) -> int:
         q.admit(t)
     sim.run()
     return q.completed_count
+
+
+def bench_queue_steady_state(n: int = 20_000) -> int:
+    """Steady-state variant: admissions interleaved with completions.
+
+    Arrivals every 0.4 sim-seconds against capacity 100.0, so the resident
+    set stays small and completions drain between admissions — the shape a
+    long experiment run actually exercises.
+    """
+    sim = Simulator()
+    q = WorkQueue(sim, capacity=100.0)
+    count = [0]
+
+    def arrive() -> None:
+        if q.fits(0.5):
+            t = Task(size=0.5, arrival_time=sim.now, origin=0)
+            t.mark_admitted(0, sim.now, TaskOutcome.LOCAL)
+            q.admit(t)
+        count[0] += 1
+        if count[0] < n:
+            sim.after(0.4, arrive)
+
+    arrive()
+    sim.run()
+    return q.completed_count
+
+
+def bench_monitor_churn(n: int = 20_000) -> int:
+    """Host admissions under threshold monitoring.
+
+    Every accept notifies the ThresholdMonitor; the seed cancelled and
+    rescheduled the analytic decay-crossing event on each notification,
+    the fast path keeps the pending event while the crossing only moves
+    later.
+    """
+    sim = Simulator()
+    host = Host(sim, 0, capacity=100.0, threshold=0.9)
+    count = [0]
+
+    def arrive() -> None:
+        t = Task(size=0.5, arrival_time=sim.now, origin=0)
+        if host.can_accept(t):
+            host.accept(t, TaskOutcome.LOCAL)
+        count[0] += 1
+        if count[0] < n:
+            sim.after(0.45, arrive)
+
+    arrive()
+    sim.run()
+    return count[0]
 
 
 def bench_routing_query_throughput() -> int:
@@ -161,6 +226,18 @@ def run_harness(
         ("queue_admission_throughput",
          lambda: bench_queue_admission_throughput(int(10_000 * scale)),
          int(10_000 * scale)),
+        ("queue_scaling_1k",
+         lambda: bench_queue_admission_throughput(int(1_000 * scale)),
+         int(1_000 * scale)),
+        ("queue_scaling_50k",
+         lambda: bench_queue_admission_throughput(int(50_000 * scale)),
+         int(50_000 * scale)),
+        ("queue_steady_state",
+         lambda: bench_queue_steady_state(int(20_000 * scale)),
+         int(20_000 * scale)),
+        ("monitor_churn",
+         lambda: bench_monitor_churn(int(20_000 * scale)),
+         int(20_000 * scale)),
         ("routing_query_throughput", bench_routing_query_throughput, 625),
     ]
     micro: Dict[str, dict] = {}

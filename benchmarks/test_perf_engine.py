@@ -8,6 +8,7 @@ every experiment slower, so the numbers are worth tracking.
 from repro.network.generators import paper_topology
 from repro.network.routing import Router
 from repro.network.transport import Transport
+from repro.node.host import Host
 from repro.node.queue import WorkQueue
 from repro.node.task import Task, TaskOutcome
 from repro.sim.kernel import Simulator
@@ -62,6 +63,59 @@ def test_queue_admission_throughput(benchmark):
         return q.completed_count
 
     assert benchmark(run_queue) == 10_000
+
+
+def test_queue_steady_state_throughput(benchmark):
+    """Admissions interleaved with completions at finite capacity.
+
+    Kept in lockstep with ``benchmarks/harness.py::bench_queue_steady_state``.
+    """
+
+    def run_steady():
+        sim = Simulator()
+        q = WorkQueue(sim, capacity=100.0)
+        count = [0]
+
+        def arrive():
+            if q.fits(0.5):
+                t = Task(size=0.5, arrival_time=sim.now, origin=0)
+                t.mark_admitted(0, sim.now, TaskOutcome.LOCAL)
+                q.admit(t)
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.after(0.4, arrive)
+
+        arrive()
+        sim.run()
+        return q.completed_count
+
+    assert benchmark(run_steady) == 20_000
+
+
+def test_monitor_churn_throughput(benchmark):
+    """Host admissions under threshold monitoring.
+
+    Kept in lockstep with ``benchmarks/harness.py::bench_monitor_churn``.
+    """
+
+    def run_churn():
+        sim = Simulator()
+        host = Host(sim, 0, capacity=100.0, threshold=0.9)
+        count = [0]
+
+        def arrive():
+            t = Task(size=0.5, arrival_time=sim.now, origin=0)
+            if host.can_accept(t):
+                host.accept(t, TaskOutcome.LOCAL)
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.after(0.45, arrive)
+
+        arrive()
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_churn) == 20_000
 
 
 def test_routing_query_throughput(benchmark):

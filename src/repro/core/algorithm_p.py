@@ -81,10 +81,11 @@ class PledgePolicy:
 
     def make_pledge(self, communities: int, now: float) -> Pledge:
         """Build the PLEDGE with the paper's field set."""
+        snap = self.host.snapshot()
         return Pledge(
             pledger=self.host.node_id,
-            availability=self.host.availability(),
-            usage=self.host.usage(),
+            availability=snap.headroom,
+            usage=snap.usage,
             communities=communities,
             grant_probability=self.grant_probability,
             sent_at=now,

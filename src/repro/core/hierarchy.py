@@ -172,10 +172,9 @@ class HierarchicalRealtorAgent(RealtorAgent):
         for nid in self.directory.members(self.node_id):
             if nid == self.node_id or nid not in hosts:
                 continue
-            host = hosts[nid]
+            snap = hosts[nid].snapshot()
             self.view.update(
-                nid, host.availability(), host.usage(), host.is_available(),
-                self.sim.now,
+                nid, snap.headroom, snap.usage, snap.available, self.sim.now,
             )
 
     # Level-2: escalation ----------------------------------------------------
@@ -230,9 +229,8 @@ class HierarchicalRealtorAgent(RealtorAgent):
         best = self.view.best(self.sim.now, min_availability=help_msg.demand)
         if best is None:
             # fall back to offering ourselves when we qualify
-            if self.safe and self.host.is_available() and (
-                self.host.availability() >= help_msg.demand
-            ):
+            snap = self.host.snapshot()
+            if self.safe and snap.available and snap.headroom >= help_msg.demand:
                 pledge = self.pledges.make_pledge(
                     communities=self.memberships.count(), now=self.sim.now
                 )

@@ -21,8 +21,6 @@ from typing import Callable, Dict, Optional
 
 from ..network.transport import Delivery, Transport
 from ..node.host import Host
-from ..node.queue import QueueFull
-from ..node.resources import InsufficientResources
 from ..node.task import Task, TaskOutcome
 from ..sim.events import Event
 from ..sim.kernel import Simulator
@@ -147,11 +145,7 @@ class AdmissionControl:
         """Speculative admission: reserve now or refuse."""
         if not self.accepting():
             return False  # compromised/unsafe node refuses new work
-        if not self.host.can_accept(task):
-            return False
-        try:
-            self.host.accept(task, outcome)
-        except (QueueFull, InsufficientResources):  # pragma: no cover - TOCTOU guard
+        if self.host.try_accept(task, outcome) is None:
             return False
         task.migrations += 1
         return True

@@ -86,8 +86,9 @@ class MigrationCoordinator:
         # arrival whose admission *would* push usage over the threshold —
         # including arrivals that are still admitted locally.
         agent.notify_task_arrival(task)
-        if host.can_accept(task):
-            host.accept(task, TaskOutcome.LOCAL)
+        # try_accept performs the fit test and the admission in one pass
+        # (the seed's can_accept + accept pair derived the backlog twice).
+        if host.try_accept(task, TaskOutcome.LOCAL) is not None:
             self.metrics.task_admitted(task)
             return
         self._try_remote(task, outcome=TaskOutcome.MIGRATED)

@@ -9,7 +9,7 @@ extension share one code path.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional
 
 from ..sim.kernel import Simulator
 from .monitor import ThresholdMonitor
@@ -17,7 +17,23 @@ from .queue import QueueFull, WorkQueue
 from .resources import ResourcePool
 from .task import Task, TaskOutcome
 
-__all__ = ["Host"]
+__all__ = ["Host", "HostSnapshot"]
+
+
+class HostSnapshot(NamedTuple):
+    """Point-in-time view of a host's queue state.
+
+    One backlog evaluation feeds every derived field, replacing the
+    separate ``usage()`` + ``availability()`` + ``is_available()`` calls
+    (each of which re-derived the backlog) in the per-advertisement and
+    per-admission paths.
+    """
+
+    time: float
+    backlog: float      #: residual work, seconds
+    usage: float        #: backlog / capacity, clamped to [0, 1]
+    headroom: float     #: capacity - backlog — the PLEDGE 'degree' field
+    available: bool     #: Algorithm P's test: usage strictly below threshold
 
 
 class Host:
@@ -91,6 +107,31 @@ class Host:
         self.monitor.notify_change()
         return completion
 
+    def try_accept(self, task: Task, outcome: TaskOutcome) -> Optional[float]:
+        """Single-pass admission: returns the completion time or ``None``.
+
+        Equivalent to the ``can_accept()`` + ``accept()`` pair but with
+        one queue fit test instead of two (and no exception on the miss
+        path), so the per-arrival hot chain does not re-derive the backlog.
+        A refusal here is a plain miss: it does not count toward
+        ``rejected_here`` (which tracks :meth:`accept` raises, i.e. callers
+        that skipped the check).
+        """
+        if self.pool is not None and task.demand:
+            if not self.pool.fits(task.demand):
+                return None
+            self.pool.allocate(task.demand)
+            self._held[task.task_id] = dict(task.demand)
+        completion = self.queue.try_admit(task)
+        if completion is None:
+            held = self._held.pop(task.task_id, None)
+            if held is not None:
+                self.pool.release(held)  # type: ignore[union-attr]
+            return None
+        task.mark_admitted(self.node_id, self.sim.now, outcome)
+        self.monitor.notify_change()
+        return completion
+
     def _task_done(self, task: Task) -> None:
         held = self._held.pop(task.task_id, None)
         if held is not None and self.pool is not None:
@@ -101,6 +142,29 @@ class Host:
             self._user_on_complete(task)
 
     # State exposure (what PLEDGEs advertise) --------------------------------
+
+    def snapshot(self) -> HostSnapshot:
+        """Every advertised queue quantity from one backlog evaluation.
+
+        The protocols' advertise/pledge paths need usage, headroom and the
+        availability bit together; computing them independently re-derives
+        ``max(0, busy_until - now)`` three or four times per message.
+        """
+        queue = self.queue
+        backlog = queue.busy_until - self.sim.now
+        if backlog < 0.0:
+            backlog = 0.0
+        capacity = queue.capacity
+        usage = backlog / capacity
+        if usage > 1.0:
+            usage = 1.0
+        return HostSnapshot(
+            time=self.sim.now,
+            backlog=backlog,
+            usage=usage,
+            headroom=capacity - backlog,
+            available=usage < self.monitor.threshold,
+        )
 
     def usage(self) -> float:
         return self.queue.usage()

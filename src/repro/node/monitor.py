@@ -9,8 +9,16 @@ Both halves of REALTOR key off a usage threshold (0.9 in the evaluation):
 Backlog *rises* only at admissions (discrete, easy) but *falls*
 continuously as the server drains, so the downward crossing is a real
 point in time between events.  :class:`ThresholdMonitor` computes it
-analytically from the queue's ``busy_until`` and keeps exactly one pending
-crossing event, rescheduled after every state change.
+analytically from the queue's ``busy_until`` and keeps at most one pending
+crossing event.
+
+Fast path (lazy invalidation): a queue mutation can only push the analytic
+crossing *later* (admissions grow ``busy_until``) or *earlier*
+(withdrawals).  Only the earlier case needs a cancel+reschedule; when the
+crossing moves later the pending event is kept and verified on fire — a
+stale early fire sees usage still above the threshold and re-aims itself
+at the current analytic crossing.  This replaces the seed's two kernel
+operations (cancel + schedule) per above-threshold admission with zero.
 """
 
 from __future__ import annotations
@@ -111,25 +119,46 @@ class ThresholdMonitor:
             self._fire(DOWN, usage)
         self._reschedule_decay()
 
-    def _reschedule_decay(self) -> None:
-        if self._pending is not None:
-            self._pending.cancel()
-            self._pending = None
-        if self._below:
-            return  # decay can only cross downward, and we're already below
+    def _cross_time(self) -> float:
+        """Analytic instant the decaying backlog reaches the threshold."""
         target_backlog = (self.threshold - self.hysteresis) * self.queue.capacity
         cross_time = self.queue.busy_until - target_backlog
         # Guard against scheduling in the past due to float fuzz.
-        cross_time = max(cross_time, self.sim.now)
+        now = self.sim.now
+        if cross_time < now:
+            cross_time = now
+        return cross_time + 1e-9
+
+    def _reschedule_decay(self) -> None:
+        pending = self._pending
+        if self._below:
+            # Decay can only cross downward, and we're already below.
+            if pending is not None:
+                pending.cancel()
+                self._pending = None
+            return
+        cross_time = self._cross_time()
+        if pending is not None:
+            if pending.time <= cross_time:
+                # The crossing moved later (or stayed put): keep the event
+                # and let the verify-on-fire check in _decay_cross re-aim.
+                return
+            pending.cancel()
         self._pending = self.sim.at(
-            cross_time + 1e-9, self._decay_cross, priority=Priority.STATE
+            cross_time, self._decay_cross, priority=Priority.STATE
         )
 
     def _decay_cross(self) -> None:
         self._pending = None
         usage = self.queue.usage()
-        if self._below or usage >= self.threshold - self.hysteresis:
-            # A newer admission beat us to it; notify_change rescheduled.
+        if self._below:
+            return
+        if usage >= self.threshold - self.hysteresis:
+            # Stale early fire: the queue refilled after this event was
+            # scheduled.  Re-aim at the current analytic crossing.
+            self._pending = self.sim.at(
+                self._cross_time(), self._decay_cross, priority=Priority.STATE
+            )
             return
         self._below = True
         self.crossings_down += 1

@@ -11,17 +11,33 @@ decay, so queries are O(1) and exact:
 
 Admission control is the paper's test: a task fits iff
 ``backlog + size <= capacity``.
+
+Fast path: residency is a ``deque`` of ``[completion, task, seq, event]``
+entries plus a ``task_id -> entry`` index.  ``seq`` is a per-queue
+monotonically increasing admission number; completions fire in admission
+order (FIFO — completion times are non-decreasing), so finishing a task
+is an O(1) ``popleft`` guarded by the seq instead of the seed's O(n)
+resident-list rebuild (O(n²) per drain, the old
+``queue_admission_throughput`` wall).  Each entry owns its *live*
+completion :class:`~repro.sim.events.Event`: ``remove`` cancels and
+reschedules the events it shifts rather than stacking guarded duplicates,
+and ``drop_all`` cancels outright instead of leaving dead events to churn
+the heap.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
 
 from ..sim.events import Priority
 from ..sim.kernel import Simulator
 from .task import Task, TaskStatus
 
 __all__ = ["WorkQueue", "QueueFull"]
+
+# entry layout: [completion_time, task, admission_seq, completion_event]
+_COMPLETION, _TASK, _SEQ, _EVENT = range(4)
 
 
 class QueueFull(RuntimeError):
@@ -54,7 +70,9 @@ class WorkQueue:
         self.capacity = float(capacity)
         self.on_complete = on_complete
         self.busy_until = 0.0
-        self._resident: List[Tuple[float, Task]] = []  # (completion_time, task)
+        self._resident: Deque[list] = deque()
+        self._index: Dict[int, list] = {}  # task_id -> resident entry
+        self._next_seq = 0
         self.admitted_count = 0
         self.completed_count = 0
         self.work_admitted = 0.0
@@ -80,7 +98,11 @@ class WorkQueue:
 
     def resident_tasks(self) -> List[Task]:
         """Tasks admitted but not yet completed (FIFO order)."""
-        return [task for _, task in self._resident]
+        return [entry[_TASK] for entry in self._resident]
+
+    def __contains__(self, task: Task) -> bool:
+        """O(1) residency test."""
+        return task.task_id in self._index
 
     def __len__(self) -> int:
         return len(self._resident)
@@ -93,25 +115,54 @@ class WorkQueue:
         Raises :class:`QueueFull` when the task does not fit — callers must
         check :meth:`fits` (or catch) and route the task to migration.
         """
-        now = self.sim.now
-        if not self.fits(task.size, now):
+        completion = self.try_admit(task)
+        if completion is None:
+            now = self.sim.now
             raise QueueFull(
                 f"task {task.task_id} (size {task.size:.3g}) exceeds headroom "
                 f"{self.headroom(now):.3g}"
             )
-        start = max(self.busy_until, now)
-        completion = start + task.size
-        self.busy_until = completion
-        self._resident.append((completion, task))
-        self.admitted_count += 1
-        self.work_admitted += task.size
-        self.sim.at(completion, self._complete, task, priority=Priority.STATE)
         return completion
 
-    def _complete(self, task: Task) -> None:
+    def try_admit(self, task: Task) -> Optional[float]:
+        """Single-pass admission: one fit test, then enqueue.
+
+        Returns the completion time, or ``None`` when the task does not
+        fit.  This is the hot path behind :meth:`Host.try_accept
+        <repro.node.host.Host.try_accept>`; :meth:`admit` is the raising
+        wrapper.
+        """
+        now = self.sim.now
+        busy = self.busy_until
+        start = busy if busy > now else now
+        completion = start + task.size
+        # completion - now == backlog + size; same test as fits().
+        if completion - now > self.capacity + 1e-12:
+            return None
+        self.busy_until = completion
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = self.sim.at(
+            completion, self._complete, task, seq, priority=Priority.STATE
+        )
+        entry = [completion, task, seq, event]
+        self._resident.append(entry)
+        self._index[task.task_id] = entry
+        self.admitted_count += 1
+        self.work_admitted += task.size
+        return completion
+
+    def _complete(self, task: Task, seq: int) -> None:
         if task.status is not TaskStatus.QUEUED:
             return  # dropped (node crash) before completion
-        self._resident = [(c, t) for c, t in self._resident if t is not task]
+        resident = self._resident
+        # Completions fire in admission order (completion times are
+        # non-decreasing and stale events are cancelled), so the head is
+        # the finishing entry; the seq guard makes staleness an O(1) check.
+        if not resident or resident[0][_SEQ] != seq:
+            return
+        resident.popleft()
+        del self._index[task.task_id]
         task.mark_completed(self.sim.now)
         self.completed_count += 1
         if self.on_complete is not None:
@@ -120,13 +171,17 @@ class WorkQueue:
     def drop_all(self) -> List[Task]:
         """Node crash: abandon all resident work.  Returns the lost tasks.
 
-        Completion events become no-ops because the tasks leave QUEUED
-        state here.
+        Pending completion events are cancelled here, so a crash leaves no
+        dead events behind to churn the kernel heap.
         """
-        lost = [task for _, task in self._resident]
-        for task in lost:
+        lost = []
+        for entry in self._resident:
+            task = entry[_TASK]
+            entry[_EVENT].cancel()
             task.mark_lost()
+            lost.append(task)
         self._resident.clear()
+        self._index.clear()
         self.busy_until = self.sim.now
         return lost
 
@@ -137,46 +192,42 @@ class WorkQueue:
         time shifts earlier by ``task.size``; earlier tasks (including a
         running head) are untouched.  This models a preemptible FIFO queue
         where un-started work can be migrated away.
+
+        Each shifted entry's stale completion event is cancelled and
+        replaced (the entry keeps its admission seq), so repeated
+        withdrawals never accumulate dead events.
         """
-        entries = self._resident
-        for i, (_, t) in enumerate(entries):
-            if t is task:
-                break
-        else:
+        entry = self._index.get(task.task_id)
+        if entry is None or entry[_TASK] is not task:
             raise KeyError(f"task {task.task_id} not resident")
+        resident = self._resident
+        now = self.sim.now
         # Already-started work cannot be withdrawn: only the head task has
         # started, and only if the server is busy.
-        if i == 0 and self.backlog() > 0:
-            started_for = self.sim.now - (entries[0][0] - task.size)
+        if entry is resident[0] and self.busy_until > now:
+            started_for = now - (entry[_COMPLETION] - task.size)
             if started_for > 1e-12:
                 raise ValueError(f"task {task.task_id} already started")
-        del entries[i]
-        shifted: List[Tuple[float, Task]] = []
-        for j, (c, t) in enumerate(entries):
-            if j >= i:
-                c2 = c - task.size
-                # The original completion event is now stale (it fires
-                # later and will see the task already completed); install a
-                # guarded event at the new, earlier time.
-                self.sim.at(
-                    max(c2, self.sim.now),
-                    self._complete_if_matches,
-                    t,
-                    c2,
+        size = task.size
+        entry[_EVENT].cancel()
+        behind = False
+        for e in resident:
+            if e is entry:
+                behind = True
+                continue
+            if behind:
+                e[_EVENT].cancel()
+                c2 = e[_COMPLETION] - size
+                e[_COMPLETION] = c2
+                e[_EVENT] = self.sim.at(
+                    c2 if c2 > now else now,
+                    self._complete,
+                    e[_TASK],
+                    e[_SEQ],
                     priority=Priority.STATE,
                 )
-                shifted.append((c2, t))
-            else:
-                shifted.append((c, t))
-        self._resident = shifted
-        self.busy_until -= task.size
+        resident.remove(entry)
+        del self._index[task.task_id]
+        self.busy_until -= size
         # The withdrawn task re-enters the placement pipeline.
         task.status = TaskStatus.CREATED
-
-    def _complete_if_matches(self, task: Task, expected_completion: float) -> None:
-        """Completion handler robust to rescheduling: fires only if the
-        task is still resident with this exact completion time."""
-        for c, t in self._resident:
-            if t is task and abs(c - expected_completion) < 1e-9:
-                self._complete(task)
-                return

@@ -38,10 +38,11 @@ class AdaptivePushAgent(DiscoveryAgent):
     def _on_cross(self, direction: str, _usage: float) -> None:
         if not self.safe:
             return
+        snap = self.host.snapshot()
         adv = Advertisement(
             origin=self.node_id,
-            availability=self.host.availability(),
-            usage=self.host.usage(),
+            availability=snap.headroom,
+            usage=snap.usage,
             # At an upward crossing the node is at/over the threshold; at a
             # downward crossing it just became available again.
             available=direction == "down",

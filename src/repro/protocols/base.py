@@ -218,9 +218,9 @@ class DiscoveryAgent(abc.ABC):
         else:
             in_scope = {nid for nid in hosts if nid != self.node_id}
         for nid in sorted(in_scope):
-            host = hosts[nid]
+            snap = hosts[nid].snapshot()
             self.view.update(
-                nid, host.availability(), host.usage(), host.is_available(), self.sim.now
+                nid, snap.headroom, snap.usage, snap.available, self.sim.now
             )
 
     def usage_with(self, task: Task) -> float:

@@ -97,12 +97,13 @@ class GossipAgent(DiscoveryAgent):
         )
 
     def _digest(self) -> Digest:
+        snap = self.host.snapshot()
         entries: List[DigestEntry] = [
             (
                 self.node_id,
-                self.host.availability(),
-                self.host.usage(),
-                self.host.is_available() and self.safe,
+                snap.headroom,
+                snap.usage,
+                snap.available and self.safe,
                 self.sim.now,
             )
         ]

@@ -50,11 +50,12 @@ class PurePushAgent(DiscoveryAgent):
     def _advertise(self) -> None:
         if not self.safe:
             return
+        snap = self.host.snapshot()
         adv = Advertisement(
             origin=self.node_id,
-            availability=self.host.availability(),
-            usage=self.host.usage(),
-            available=self.host.is_available(),
+            availability=snap.headroom,
+            usage=snap.usage,
+            available=snap.available,
             sent_at=self.sim.now,
         )
         self.advertisements_sent += 1

@@ -59,11 +59,16 @@ class Tracer:
             return
         if self.categories is not None and category not in self.categories:
             return
-        rec = TraceRecord(time, category, payload)
-        if len(self.records) < self.limit:
-            self.records.append(rec)
-        else:
+        if len(self.records) >= self.limit:
+            # Full: count the drop and skip the record construction
+            # entirely unless a sink still wants to stream it.
             self.dropped += 1
+            if not self._sinks:
+                return
+            rec = TraceRecord(time, category, payload)
+        else:
+            rec = TraceRecord(time, category, payload)
+            self.records.append(rec)
         for sink in self._sinks:
             sink(rec)
 

@@ -60,6 +60,57 @@ class TestLocalAdmission:
         assert vec == {"cpu": 100.0, "bandwidth": 8.0}
 
 
+class TestSnapshot:
+    def test_matches_individual_queries(self):
+        sim, host = make()
+        host.accept(task(30.0), TaskOutcome.LOCAL)
+        sim.run(until=10.0)
+        snap = host.snapshot()
+        assert snap.time == sim.now
+        assert snap.backlog == pytest.approx(host.queue.backlog())
+        assert snap.usage == pytest.approx(host.usage())
+        assert snap.headroom == pytest.approx(host.availability())
+        assert snap.available == host.is_available()
+
+    def test_idle_queue_clamps_backlog(self):
+        sim, host = make()
+        host.accept(task(5.0), TaskOutcome.LOCAL)
+        sim.run(until=20.0)
+        snap = host.snapshot()
+        assert snap.backlog == 0.0
+        assert snap.usage == 0.0
+        assert snap.headroom == 100.0
+        assert snap.available
+
+
+class TestTryAccept:
+    def test_success_matches_accept(self):
+        sim, host = make()
+        t = task(10.0)
+        assert host.try_accept(t, TaskOutcome.LOCAL) == 10.0
+        assert t.status is TaskStatus.QUEUED
+        assert t.admitted_at == 0
+
+    def test_miss_does_not_count_as_rejection(self):
+        sim, host = make(capacity=10.0)
+        host.accept(task(9.0), TaskOutcome.LOCAL)
+        assert host.try_accept(task(5.0), TaskOutcome.LOCAL) is None
+        assert host.rejected_here == 0  # only accept() raises are counted
+
+    def test_queue_miss_releases_pool_hold(self):
+        sim, host = make(capacity=10.0, pool=ResourcePool.of(bandwidth=8.0))
+        host.accept(task(9.0), TaskOutcome.LOCAL)
+        t = task(5.0, demand={"bandwidth": 4.0})
+        assert host.try_accept(t, TaskOutcome.LOCAL) is None
+        assert host.pool.availability_vector() == {"bandwidth": 8.0}
+
+    def test_pool_miss_refuses(self):
+        sim, host = make(pool=ResourcePool.of(bandwidth=8.0))
+        t = task(5.0, demand={"bandwidth": 9.0})
+        assert host.try_accept(t, TaskOutcome.LOCAL) is None
+        assert len(host.queue) == 0
+
+
 class TestMultiResource:
     def test_demand_allocated_and_released(self):
         sim, host = make(pool=ResourcePool.of(bandwidth=10.0))

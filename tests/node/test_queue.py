@@ -184,3 +184,60 @@ class TestRemove:
         q.remove(tail)
         sim.run()
         assert head.completed_time == 10.0  # not restarted
+
+    def test_removed_task_readmitted_elsewhere_uses_new_schedule(self):
+        """Regression: withdrawal must cancel the original completion event.
+
+        The seed left it live; when the evacuated task was re-admitted on
+        another node, the stale event on the *old* queue fired first (the
+        task was QUEUED again, satisfying the status guard) and completed
+        it at the old, earlier time — the work effectively ran twice.
+        """
+        sim = Simulator()
+        src = WorkQueue(sim, 100.0)
+        dst = WorkQueue(sim, 100.0)
+        blocker = admitted(Task(size=6.0, arrival_time=0.0, origin=0))
+        task = admitted(Task(size=4.0, arrival_time=0.0, origin=0))
+        src.admit(blocker)
+        src.admit(task)  # would complete at t=10 on src
+        src.remove(task)
+        # Re-placement happens later and behind a longer backlog.
+        sim.run(until=2.0)
+        dst.admit(admitted(Task(size=12.0, arrival_time=2.0, origin=0)))
+        task.mark_admitted(1, 2.0, TaskOutcome.MIGRATED)
+        c = dst.admit(task)
+        assert c == 18.0
+        sim.run()
+        assert task.completed_time == 18.0  # not the stale t=10 on src
+        assert src.completed_count == 1  # just the blocker
+        assert dst.completed_count == 2
+
+
+class TestFastPathApi:
+    def test_try_admit_returns_none_on_miss_without_mutation(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 10.0)
+        q.admit(admitted(Task(size=8.0, arrival_time=0.0, origin=0)))
+        before = (q.busy_until, q.admitted_count, q.work_admitted, len(q))
+        t = admitted(Task(size=3.0, arrival_time=0.0, origin=0))
+        assert q.try_admit(t) is None
+        assert (q.busy_until, q.admitted_count, q.work_admitted, len(q)) == before
+
+    def test_try_admit_matches_admit(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        t = admitted(Task(size=5.0, arrival_time=0.0, origin=0))
+        assert q.try_admit(t) == 5.0
+        sim.run()
+        assert t.status is TaskStatus.COMPLETED
+
+    def test_contains_tracks_residency(self):
+        sim = Simulator()
+        q = WorkQueue(sim, 100.0)
+        t = admitted(Task(size=5.0, arrival_time=0.0, origin=0))
+        other = Task(size=1.0, arrival_time=0.0, origin=0)
+        q.admit(t)
+        assert t in q
+        assert other not in q
+        sim.run()
+        assert t not in q

@@ -77,6 +77,44 @@ class TestGoldenTrace:
         assert result_a.admission_probability == result_b.admission_probability
 
 
+class TestFaultScenarioDeterminism:
+    """The evacuation path (queue.remove + re-admission + crash drops)
+    exercises every fast-path branch the plain runs miss; it must be just
+    as reproducible."""
+
+    @staticmethod
+    def _attacked_run(seed: int = 5):
+        from repro.workload.attack import SweepAttack
+
+        cfg = ExperimentConfig(
+            protocol="realtor",
+            arrival_rate=8.0,
+            horizon=150.0,
+            seed=seed,
+            trace=True,
+        )
+        system = build_system(cfg)
+        attack = SweepAttack(
+            list(range(25)), start=20.0, dwell=10.0, victims=6,
+            rng=system.sim.streams.stream("attack"),
+        )
+        attack.plan().install(system.faults)
+        system.run()
+        trace = [
+            (rec.time, rec.category, tuple(sorted(rec.payload.items())))
+            for rec in system.sim.trace.records
+        ]
+        return trace, system.result()
+
+    def test_sweep_attack_bit_identical(self):
+        trace_a, result_a = self._attacked_run()
+        trace_b, result_b = self._attacked_run()
+        assert len(trace_a) == len(trace_b)
+        for i, (rec_a, rec_b) in enumerate(zip(trace_a, trace_b)):
+            assert rec_a == rec_b, f"trace diverges at record {i}"
+        assert _result_fields(result_a) == _result_fields(result_b)
+
+
 class TestSweepEquivalence:
     def test_serial_vs_parallel_identical(self):
         base = ExperimentConfig(horizon=80.0, seed=3)

@@ -36,6 +36,23 @@ class TestEmit:
         t.emit(0.0, "live")
         assert seen == ["live"]
 
+    def test_full_tracer_without_sinks_skips_record_construction(self):
+        t = Tracer(limit=1)
+        t.emit(0.0, "x")
+        t.emit(1.0, "x")  # over the limit: counted, nothing built
+        assert len(t) == 1
+        assert t.dropped == 1
+
+    def test_sink_still_streams_past_limit(self):
+        t = Tracer(limit=1)
+        seen = []
+        t.add_sink(lambda r: seen.append(r.time))
+        t.emit(0.0, "x")
+        t.emit(1.0, "x")
+        assert len(t) == 1  # stored records stay capped
+        assert t.dropped == 1
+        assert seen == [0.0, 1.0]  # but the stream sees everything
+
 
 class TestQueries:
     def test_select_by_payload(self):
