@@ -1,9 +1,15 @@
-"""Terminal line charts.
+"""Terminal line charts, event timelines and span views.
 
 The figures are curves; tables alone make shape comparisons hard to
 see.  :func:`render` draws multiple named series on one character
 canvas — no plotting dependency, works over ssh, diffs cleanly in CI
 logs.  Used by ``python -m repro.experiments --chart`` and the examples.
+
+:func:`render_timeline` and :func:`render_spans` are the observability
+companions: a per-category event-density strip chart over simulated
+time, and horizontal bars for causality spans
+(:mod:`repro.obs.spans`) — when a HELP round started, how long until it
+was answered, how long a placement chain took to settle.
 
 Marker assignment is stable (first series ``*``, then ``o``, ``x``,
 ``+``, ``#``, ``@``); overlapping points show the later series' marker.
@@ -11,11 +17,14 @@ Marker assignment is stable (first series ``*``, then ``o``, ``x``,
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["render"]
+__all__ = ["render", "render_timeline", "render_spans"]
 
 MARKERS = "*ox+#@%&"
+
+#: event-count → glyph ramp for the timeline strips (index capped)
+DENSITY = " .:+*#@"
 
 
 def _scale(value: float, lo: float, hi: float, cells: int) -> int:
@@ -90,4 +99,124 @@ def render(
     lines.append(" " * (label_width + 2) + legend)
     if y_label:
         lines.append(" " * (label_width + 2) + f"y: {y_label}")
+    return "\n".join(lines)
+
+
+def render_timeline(
+    events: Iterable[object],
+    *,
+    width: int = 64,
+    categories: Optional[Sequence[str]] = None,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Per-category event-density strips over a shared time axis.
+
+    ``events`` are trace records (anything with ``.time``/``.category``)
+    or ``(time, category)`` pairs.  One row per category, time bucketed
+    into ``width`` cells, cell glyph darkening with the event count —
+    the textual equivalent of the timed event timelines the Petri-net
+    analyses of discovery protocols are built on.
+
+    ``categories`` fixes the rows and their order (default: first-seen
+    order of the events); ``t0``/``t1`` clip the window.
+    """
+    if width < 16:
+        raise ValueError("canvas too small")
+    parsed: List[Tuple[float, str]] = []
+    for ev in events:
+        if isinstance(ev, tuple):
+            time, category = ev[0], ev[1]
+        else:
+            time, category = ev.time, ev.category  # type: ignore[attr-defined]
+        parsed.append((float(time), str(category)))
+    if not parsed:
+        raise ValueError("no events")
+    lo = t0 if t0 is not None else min(t for t, _ in parsed)
+    hi = t1 if t1 is not None else max(t for t, _ in parsed)
+    if hi <= lo:
+        hi = lo + 1.0
+    if categories is None:
+        seen: List[str] = []
+        for _, category in parsed:
+            if category not in seen:
+                seen.append(category)
+        categories = seen
+    counts: Dict[str, List[int]] = {c: [0] * width for c in categories}
+    totals: Dict[str, int] = {c: 0 for c in categories}
+    for time, category in parsed:
+        row = counts.get(category)
+        if row is None or not lo <= time <= hi:
+            continue
+        row[_scale(time, lo, hi, width)] += 1
+        totals[category] += 1
+    label_width = max(len(c) for c in categories)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top = len(DENSITY) - 1
+    for category in categories:
+        strip = "".join(DENSITY[min(n, top)] for n in counts[category])
+        lines.append(
+            f"{category.rjust(label_width)} |{strip}| {totals[category]}"
+        )
+    axis = f"{lo:.4g}".ljust(width // 2) + f"{hi:.4g}".rjust(width - width // 2)
+    lines.append(" " * label_width + " +" + "-" * width + "+")
+    lines.append(" " * (label_width + 2) + axis + "  (t)")
+    return "\n".join(lines)
+
+
+def render_spans(
+    spans: Iterable[object],
+    *,
+    width: int = 64,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+    title: Optional[str] = None,
+    limit: int = 40,
+) -> str:
+    """Horizontal bars for causality spans on a shared time axis.
+
+    ``spans`` are span objects exposing ``as_bar() -> (label, start,
+    end)`` (see :mod:`repro.obs.spans`) or raw ``(label, start, end)``
+    triples.  Zero-length spans render as a single ``|``; at most
+    ``limit`` bars are drawn (a trailing line reports the elision).
+    """
+    if width < 16:
+        raise ValueError("canvas too small")
+    bars: List[Tuple[str, float, float]] = []
+    for span in spans:
+        if isinstance(span, tuple):
+            label, start, end = span
+        else:
+            label, start, end = span.as_bar()  # type: ignore[attr-defined]
+        bars.append((str(label), float(start), float(end)))
+    if not bars:
+        raise ValueError("no spans")
+    elided = max(0, len(bars) - limit)
+    bars = bars[:limit]
+    lo = t0 if t0 is not None else min(s for _, s, _ in bars)
+    hi = t1 if t1 is not None else max(e for _, _, e in bars)
+    if hi <= lo:
+        hi = lo + 1.0
+    label_width = max(len(label) for label, _, _ in bars)
+    lines = [title] if title else []
+    for label, start, end in bars:
+        a = _scale(max(start, lo), lo, hi, width)
+        b = _scale(min(end, hi), lo, hi, width)
+        row = [" "] * width
+        if b > a:
+            row[a] = "|"
+            row[b] = "|"
+            for i in range(a + 1, b):
+                row[i] = "="
+        else:
+            row[a] = "|"
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}|")
+    axis = f"{lo:.4g}".ljust(width // 2) + f"{hi:.4g}".rjust(width - width // 2)
+    lines.append(" " * label_width + " +" + "-" * width + "+")
+    lines.append(" " * (label_width + 2) + axis + "  (t)")
+    if elided:
+        lines.append(f"  … {elided} more span(s) not shown")
     return "\n".join(lines)

@@ -69,6 +69,7 @@ class HelpScheduler:
         adaptive: bool = True,
         min_interval: float = 1e-3,
         on_timeout: Optional[Callable[[], None]] = None,
+        owner: Optional[int] = None,
     ) -> None:
         if initial_interval <= 0 or upper_limit < initial_interval:
             raise ValueError("need 0 < initial_interval <= upper_limit")
@@ -86,8 +87,14 @@ class HelpScheduler:
         #: optional escalation hook fired on every failed round — the
         #: inter-community extension uses this to go up a level
         self.on_timeout = on_timeout
+        #: node id for trace/span emission; ``None`` silences the
+        #: scheduler's own trace events (standalone unit-test use)
+        self.owner = owner
 
         self.last_sent = -float("inf")  # T_sent
+        #: correlation id of the latest HELP round, sequential per
+        #: scheduler — ``(owner, last_help_id)`` keys the causality span
+        self.last_help_id = -1
         self._timer: Optional[Event] = None
         self.helps_sent = 0
         self.timeouts = 0
@@ -111,6 +118,7 @@ class HelpScheduler:
             return False
         self.last_sent = now
         self.helps_sent += 1
+        self.last_help_id += 1
         self._arm_timer()
         self.send()
         return True
@@ -142,6 +150,7 @@ class HelpScheduler:
             self.interval = self.upper_limit
             self.penalties += 1
         self.interval_history.append((self.sim.now, self.interval))
+        self._emit_adaptation("grow")
 
     def on_pledge(self, found_node: bool) -> None:
         """Feedback from an arriving PLEDGE.
@@ -167,6 +176,20 @@ class HelpScheduler:
             self.interval = max(shrunk, self.min_interval)
             self.rewards += 1
             self.interval_history.append((self.sim.now, self.interval))
+            self._emit_adaptation("shrink")
+
+    def _emit_adaptation(self, direction: str) -> None:
+        """Trace one interval adaptation (penalty grow / reward shrink)."""
+        trace = self.sim.trace
+        if trace.enabled and self.owner is not None:
+            trace.emit(
+                self.sim.now,
+                "help-interval",
+                node=self.owner,
+                direction=direction,
+                interval=self.interval,
+                help_id=self.last_help_id,
+            )
 
     # Lifecycle / introspection -----------------------------------------------
 

@@ -79,8 +79,14 @@ class PledgePolicy:
 
     # Message construction -----------------------------------------------------
 
-    def make_pledge(self, communities: int, now: float) -> Pledge:
-        """Build the PLEDGE with the paper's field set."""
+    def make_pledge(
+        self, communities: int, now: float, in_reply_to: int = -1
+    ) -> Pledge:
+        """Build the PLEDGE with the paper's field set.
+
+        ``in_reply_to`` echoes the solicited HELP's correlation id
+        (trigger 1); crossing pledges (trigger 2) leave it at ``-1``.
+        """
         snap = self.host.snapshot()
         return Pledge(
             pledger=self.host.node_id,
@@ -89,4 +95,5 @@ class PledgePolicy:
             communities=communities,
             grant_probability=self.grant_probability,
             sent_at=now,
+            in_reply_to=in_reply_to,
         )

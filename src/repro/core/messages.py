@@ -36,6 +36,10 @@ class Help:
     members: int            # current community size (advertised)
     demand: float           # urgency: seconds of work seeking a home
     sent_at: float
+    #: correlation id, unique per organizer (``(organizer, help_id)`` is
+    #: globally unique); pledges echo it back so the observability layer
+    #: can reconstruct HELP→PLEDGE causality spans.  ``-1`` = untracked.
+    help_id: int = -1
 
     def __post_init__(self) -> None:
         if self.members < 0:
@@ -54,6 +58,10 @@ class Pledge:
     communities: int        # how many communities the pledger belongs to
     grant_probability: float  # estimated P(grant | request) — see PledgePolicy
     sent_at: float
+    #: the ``Help.help_id`` this pledge answers; ``-1`` for
+    #: crossing-triggered pledges (Algorithm P trigger 2), which answer
+    #: no HELP and therefore belong to no causality span
+    in_reply_to: int = -1
 
     def __post_init__(self) -> None:
         if self.availability < 0:

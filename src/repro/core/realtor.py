@@ -51,6 +51,7 @@ class RealtorAgent(DiscoveryAgent):
             response_timeout=cfg.response_timeout,
             adaptive=True,
             min_interval=cfg.min_help_interval,
+            owner=self.node_id,
         )
         self.pledges = PledgePolicy(self.host, cfg.threshold)
         self.community = Community(self.node_id, member_ttl=cfg.membership_ttl)
@@ -87,8 +88,12 @@ class RealtorAgent(DiscoveryAgent):
             members=self.community.size(),
             demand=self._pending_demand,
             sent_at=now,
+            help_id=self.help.last_help_id,
         )
-        self.sim.trace.emit(now, "help-sent", node=self.node_id, demand=msg.demand)
+        self.sim.trace.emit(
+            now, "help-sent", node=self.node_id, demand=msg.demand,
+            help_id=msg.help_id,
+        )
         self.flood(KIND_HELP, msg)
 
     # Push half: Algorithm P --------------------------------------------------
@@ -102,7 +107,7 @@ class RealtorAgent(DiscoveryAgent):
             return  # a compromised node must not attract new work
         if self.pledges.should_pledge_on_help():
             # Answer the solicitation regardless (Algorithm P trigger 1) …
-            self._send_pledge_to(org)
+            self._send_pledge_to(org, in_reply_to=help_msg.help_id)
             # … but only *join* (committing to crossing updates and
             # renewals) within the spare-resource membership budget.
             if org in self.memberships or self._may_join(help_msg):
@@ -140,9 +145,10 @@ class RealtorAgent(DiscoveryAgent):
             organizers=len(organizers),
         )
 
-    def _send_pledge_to(self, organizer: int) -> None:
+    def _send_pledge_to(self, organizer: int, in_reply_to: int = -1) -> None:
         pledge = self.pledges.make_pledge(
-            communities=self.memberships.count(), now=self.sim.now
+            communities=self.memberships.count(), now=self.sim.now,
+            in_reply_to=in_reply_to,
         )
         self.transport.unicast(self.node_id, organizer, KIND_PLEDGE, pledge)
 
@@ -150,6 +156,21 @@ class RealtorAgent(DiscoveryAgent):
 
     def _on_pledge(self, delivery: Delivery) -> None:
         pledge: Pledge = delivery.payload
+        trace = self.sim.trace
+        if trace.enabled:
+            # Span correlation: (organizer, help_id) keys the HELP round;
+            # hop count comes from the (cached) router, latency from the
+            # pledge's own send stamp.  Guarded so disabled runs pay only
+            # the attribute check.
+            trace.emit(
+                self.sim.now,
+                "pledge-recv",
+                node=self.node_id,
+                pledger=pledge.pledger,
+                help_id=pledge.in_reply_to,
+                latency=self.sim.now - pledge.sent_at,
+                hops=max(self.transport.router.distance(self.node_id, pledge.pledger), 0),
+            )
         self.community.on_pledge(pledge, self.sim.now)
         available = pledge.usage < self.config.threshold
         self.community.mark_available(pledge.pledger, available)

@@ -60,6 +60,9 @@ def main(argv: List[str] = None) -> int:
                         help="write the figure sweep results to a JSON file")
     parser.add_argument("--chart", action="store_true",
                         help="draw each figure as an ASCII chart too")
+    parser.add_argument("--observe", action="store_true",
+                        help="stream live sweep telemetry (progress, ETA, "
+                             "per-protocol message/loss rates) to stderr")
     args = parser.parse_args(argv)
 
     targets: List[str] = []
@@ -74,18 +77,31 @@ def main(argv: List[str] = None) -> int:
 
     failed = False
     # Figures 5-8 are projections of one sweep; when several are
-    # requested, run the sweep once and share it.
+    # requested, run the sweep once and share it.  --observe forces the
+    # shared path even for a single figure so the telemetry reporter can
+    # watch the sweep's runs stream in.
     shared_raw = None
-    if sum(1 for t in targets if t in FIGURES) > 1:
+    progress = None
+    figure_targets = sum(1 for t in targets if t in FIGURES)
+    if figure_targets > 1 or (args.observe and figure_targets >= 1):
         from ..protocols.registry import PAPER_PROTOCOLS
         from .config import ExperimentConfig
         from .figures import DEFAULT_RATES
         from .sweep import run_sweep
 
+        if args.observe:
+            from ..obs.telemetry import ProgressReporter
+
+            progress = ProgressReporter(
+                total=len(PAPER_PROTOCOLS) * len(DEFAULT_RATES)
+            )
         base = ExperimentConfig(horizon=args.horizon, seed=args.seed)
         shared_raw = run_sweep(
-            PAPER_PROTOCOLS, list(DEFAULT_RATES), base, parallel=args.parallel
+            PAPER_PROTOCOLS, list(DEFAULT_RATES), base,
+            parallel=args.parallel, progress=progress,
         )
+        if progress is not None:
+            print(progress.summary(), file=sys.stderr)
 
     for target in targets:
         if target in FIGURES:

@@ -102,8 +102,16 @@ class System:
     metrics: MetricsCollector
     generator: ArrivalGenerator
 
-    def run(self, until: Optional[float] = None) -> float:
-        return self.sim.run(until=until if until is not None else self.cfg.horizon)
+    def run(self, until: Optional[float] = None, *, profile=None) -> float:
+        """Drive the kernel to the horizon.
+
+        ``profile`` takes a :class:`~repro.obs.profiler.KernelProfiler`
+        and switches the kernel to its instrumented loop — wall time and
+        event counts land in the profiler, per callback and subsystem.
+        """
+        return self.sim.run(
+            until=until if until is not None else self.cfg.horizon, profile=profile
+        )
 
     # Churn (nodes joining/leaving the live system) ---------------------
 
@@ -347,11 +355,18 @@ def build_system(cfg: ExperimentConfig) -> System:
 
 
 def run_experiment(
-    cfg: ExperimentConfig, attack: Optional[AttackPlan] = None
+    cfg: ExperimentConfig,
+    attack: Optional[AttackPlan] = None,
+    *,
+    profile=None,
 ) -> RunResult:
-    """Build, optionally arm an attack plan, run to the horizon, summarise."""
+    """Build, optionally arm an attack plan, run to the horizon, summarise.
+
+    Pass ``profile=KernelProfiler()`` to attribute the run's wall time
+    per subsystem; inspect ``profile.report()`` afterwards.
+    """
     system = build_system(cfg)
     if attack is not None:
         attack.install(system.faults)
-    system.run()
+    system.run(profile=profile)
     return system.result()

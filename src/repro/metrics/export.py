@@ -3,7 +3,10 @@
 Runs are expensive; their results should outlive the process.  This
 module round-trips :class:`~repro.metrics.collector.RunResult` records
 and whole sweeps through plain JSON — no pickle, so artifacts are
-portable, diffable and safe to load.
+portable, diffable and safe to load.  Serialisation is deterministic:
+saving the same sweep twice produces byte-identical files, and
+``messages_by_kind`` key order survives the round-trip (JSON objects
+preserve insertion order in Python's parser).
 
 Layout of a sweep file::
 
@@ -11,10 +14,17 @@ Layout of a sweep file::
       "format": "repro-sweep/1",
       "results": {"<protocol>": {"<rate>": {<run result>}, ...}, ...}
     }
+
+:func:`save_sweep_csv` / :func:`load_sweep_csv` provide the same
+round-trip as one flat CSV (a row per run, a column per field) for
+spreadsheet/pandas consumers; mapping-valued fields (``params``,
+``messages_by_kind``, ``extra``) are JSON-encoded in their cells so the
+CSV loses nothing.
 """
 
 from __future__ import annotations
 
+import csv
 import json
 from pathlib import Path
 from typing import Dict, Union
@@ -26,6 +36,8 @@ __all__ = [
     "result_from_dict",
     "save_sweep",
     "load_sweep",
+    "save_sweep_csv",
+    "load_sweep_csv",
     "FORMAT_TAG",
 ]
 
@@ -94,4 +106,67 @@ def load_sweep(path: Union[str, Path]) -> Dict[str, Dict[float, RunResult]]:
         out[proto] = {
             float(rate): result_from_dict(record) for rate, record in series.items()
         }
+    return out
+
+
+# CSV round-trip -----------------------------------------------------------
+
+#: RunResult fields whose values are mappings — JSON-encoded per cell
+_DICT_FIELDS = ("params", "messages_by_kind", "extra")
+
+#: integer-typed scalar fields (everything else scalar parses as float)
+_INT_FIELDS = (
+    "generated", "admitted_local", "admitted_migrated", "rejected",
+    "completed", "lost", "evacuations", "evacuation_failures",
+)
+
+_CSV_HEADER = ("protocol", "rate") + _FIELDS
+
+
+def save_sweep_csv(
+    results: Dict[str, Dict[float, RunResult]],
+    path: Union[str, Path],
+) -> Path:
+    """Write a sweep as one flat CSV, lossless under :func:`load_sweep_csv`."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_HEADER)
+        for proto in results:
+            for rate, res in results[proto].items():
+                record = result_to_dict(res)
+                row = [proto, repr(rate)]
+                for name in _FIELDS:
+                    value = record[name]
+                    if name in _DICT_FIELDS:
+                        row.append(json.dumps(value, sort_keys=False))
+                    elif value is None:
+                        row.append("")
+                    else:
+                        row.append(repr(value))
+                writer.writerow(row)
+    return path
+
+
+def load_sweep_csv(path: Union[str, Path]) -> Dict[str, Dict[float, RunResult]]:
+    """Read a CSV written by :func:`save_sweep_csv` back into RunResults."""
+    out: Dict[str, Dict[float, RunResult]] = {}
+    with Path(path).open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != list(_CSV_HEADER):
+            raise ValueError(f"not a sweep CSV (header {header!r})")
+        for row in reader:
+            proto, rate = row[0], float(row[1])
+            record: Dict[str, object] = {}
+            for name, cell in zip(_FIELDS, row[2:]):
+                if name in _DICT_FIELDS:
+                    record[name] = json.loads(cell)
+                elif cell == "":
+                    record[name] = None
+                elif name in _INT_FIELDS:
+                    record[name] = int(cell)
+                else:
+                    record[name] = float(cell)
+            out.setdefault(proto, {})[rate] = result_from_dict(record)
     return out

@@ -107,6 +107,18 @@ class MigrationCoordinator:
             return
         candidate = attempts[idx]
         admission = self.admissions[task.origin]
+        trace = self.sim.trace
+        if trace.enabled:
+            # Span correlation: the task id groups the try chain; the
+            # settlement ("migration"/"rejection"/"evacuation") closes it.
+            trace.emit(
+                self.sim.now,
+                "candidate-try",
+                task=task.task_id,
+                src=task.origin,
+                dst=candidate,
+                attempt=idx,
+            )
 
         def _done(granted: bool) -> None:
             success = granted
@@ -179,9 +191,22 @@ class MigrationCoordinator:
             task.mark_lost()
             self.metrics.evacuation(False)
             self.metrics.task_lost(task)
+            self.sim.trace.emit(
+                self.sim.now, "evacuation-lost", task=task.task_id, src=task.origin
+            )
             return
         candidate = attempts[0]
         admission = self.admissions[task.origin]
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(
+                self.sim.now,
+                "candidate-try",
+                task=task.task_id,
+                src=task.origin,
+                dst=candidate,
+                attempt=0,
+            )
 
         def _done(granted: bool) -> None:
             if granted:
@@ -197,5 +222,9 @@ class MigrationCoordinator:
                 task.mark_lost()
                 self.metrics.evacuation(False)
                 self.metrics.task_lost(task)
+                self.sim.trace.emit(
+                    self.sim.now, "evacuation-lost",
+                    task=task.task_id, src=task.origin,
+                )
 
         admission.negotiate(task, candidate, TaskOutcome.EVACUATED, _done)

@@ -1,0 +1,44 @@
+"""Run-wide observability: trace sinks, kernel profiler, causality spans,
+and live sweep telemetry.
+
+The simulation's only windows used to be the in-memory
+:class:`~repro.sim.trace.Tracer` (lost on exit) and the terminal
+:class:`~repro.metrics.collector.RunResult`.  This package makes runs
+inspectable after the fact and while they happen:
+
+* :mod:`repro.obs.sinks` — streaming sinks for ``Tracer.add_sink``:
+  JSONL files (buffered, rotating, summary footer), NDJSON callbacks,
+  and a counting null sink;
+* :mod:`repro.obs.profiler` — wall-time/event-count attribution per
+  callback and per subsystem, driven by ``Simulator.run(profile=...)``;
+* :mod:`repro.obs.spans` — HELP→PLEDGE and placement/evacuation
+  negotiation chains correlated into span records with latencies and
+  hop counts;
+* :mod:`repro.obs.telemetry` — live progress/ETA and per-protocol
+  rolling summaries for long sweeps (``python -m repro.experiments
+  --observe``).
+"""
+
+from .profiler import KernelProfiler, ProfileReport
+from .sinks import CallbackSink, JsonLinesSink, NullSink, record_to_json
+from .spans import (
+    HelpSpan,
+    PlacementSpan,
+    build_help_spans,
+    build_placement_spans,
+)
+from .telemetry import ProgressReporter
+
+__all__ = [
+    "CallbackSink",
+    "JsonLinesSink",
+    "NullSink",
+    "record_to_json",
+    "KernelProfiler",
+    "ProfileReport",
+    "HelpSpan",
+    "PlacementSpan",
+    "build_help_spans",
+    "build_placement_spans",
+    "ProgressReporter",
+]

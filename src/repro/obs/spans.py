@@ -1,0 +1,202 @@
+"""Protocol causality spans.
+
+Formal-analysis work on discovery systems (timed Petri-net models of
+request/response causality) leans on *timelines of correlated events*,
+not isolated counters.  This module reconstructs exactly those chains
+from a run's trace:
+
+* **HELP spans** — one per HELP flood, correlated by the
+  ``(organizer, help_id)`` pair threaded through
+  :class:`~repro.core.messages.Help` / ``Pledge.in_reply_to``:
+  when the HELP was sent, which PLEDGEs answered it, each answer's
+  latency and hop count;
+* **placement spans** — one per remote negotiation chain
+  (migration or evacuation), correlated by task id: the sequence of
+  candidate tries and the admit/reject settlement.
+
+Both builders consume the trace categories the protocol and migration
+layers emit (``help-sent``, ``pledge-recv``, ``candidate-try``,
+``migration``, ``evacuation``, ``rejection``, ``evacuation-lost``) and
+are pure functions of the record list — run them on a live
+:class:`~repro.sim.trace.Tracer` or on records parsed back from a JSONL
+trace file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "PledgeEcho",
+    "HelpSpan",
+    "PlacementSpan",
+    "build_help_spans",
+    "build_placement_spans",
+]
+
+Records = Union[Tracer, Iterable[TraceRecord]]
+
+
+def _records(source: Records) -> Iterable[TraceRecord]:
+    return source.records if isinstance(source, Tracer) else source
+
+
+@dataclass(frozen=True)
+class PledgeEcho:
+    """One PLEDGE answering a correlated HELP."""
+
+    pledger: int
+    time: float
+    latency: float
+    hops: int
+
+
+@dataclass
+class HelpSpan:
+    """One HELP round: the flood and every correlated PLEDGE reply."""
+
+    organizer: int
+    help_id: int
+    sent_at: float
+    demand: float
+    pledges: List[PledgeEcho] = field(default_factory=list)
+
+    @property
+    def answered(self) -> bool:
+        return bool(self.pledges)
+
+    @property
+    def first_latency(self) -> Optional[float]:
+        """Seconds from flood to the first pledge (None when unanswered)."""
+        return self.pledges[0].latency if self.pledges else None
+
+    @property
+    def max_hops(self) -> int:
+        """Farthest responder, in overlay hops."""
+        return max((p.hops for p in self.pledges), default=0)
+
+    def as_bar(self) -> Tuple[str, float, float]:
+        """(label, start, end) for the ASCII timeline renderer."""
+        end = self.pledges[-1].time if self.pledges else self.sent_at
+        return (f"help {self.organizer}#{self.help_id}", self.sent_at, end)
+
+
+@dataclass
+class PlacementSpan:
+    """One remote negotiation chain: candidate tries and its settlement."""
+
+    task_id: int
+    src: int
+    started_at: float
+    #: (candidate node, try time) in attempt order
+    tries: List[Tuple[int, float]] = field(default_factory=list)
+    outcome: Optional[str] = None      # migrated | evacuated | rejected | lost
+    dst: Optional[int] = None
+    settled_at: Optional[float] = None
+
+    @property
+    def settled(self) -> bool:
+        return self.outcome is not None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Seconds from the first try to the settlement."""
+        if self.settled_at is None:
+            return None
+        return self.settled_at - self.started_at
+
+    @property
+    def hops(self) -> int:
+        """Candidates tried before the chain settled."""
+        return len(self.tries)
+
+    def as_bar(self) -> Tuple[str, float, float]:
+        """(label, start, end) for the ASCII timeline renderer."""
+        end = self.settled_at if self.settled_at is not None else self.started_at
+        tag = self.outcome or "open"
+        return (f"task {self.task_id} {tag}", self.started_at, end)
+
+
+def build_help_spans(source: Records) -> List[HelpSpan]:
+    """Correlate ``help-sent`` floods with their ``pledge-recv`` replies.
+
+    Records without a correlation id (``help_id < 0`` — crossing-triggered
+    pledges, pre-span traces) are ignored: a crossing pledge answers no
+    HELP, so it belongs to no span.
+    """
+    spans: List[HelpSpan] = []
+    open_spans: Dict[Tuple[int, int], HelpSpan] = {}
+    for rec in _records(source):
+        if rec.category == "help-sent":
+            help_id = rec.payload.get("help_id", -1)
+            if help_id < 0:
+                continue
+            span = HelpSpan(
+                organizer=rec.payload["node"],
+                help_id=help_id,
+                sent_at=rec.time,
+                demand=rec.payload.get("demand", 0.0),
+            )
+            spans.append(span)
+            open_spans[(span.organizer, help_id)] = span
+        elif rec.category == "pledge-recv":
+            help_id = rec.payload.get("help_id", -1)
+            if help_id < 0:
+                continue
+            span = open_spans.get((rec.payload["node"], help_id))
+            if span is None:
+                continue
+            span.pledges.append(
+                PledgeEcho(
+                    pledger=rec.payload["pledger"],
+                    time=rec.time,
+                    latency=rec.time - span.sent_at,
+                    hops=rec.payload.get("hops", 0),
+                )
+            )
+    return spans
+
+
+#: settlement categories → (span outcome override, payload carries dst)
+_SETTLEMENTS = {
+    "migration": (None, True),        # outcome taken from the payload
+    "evacuation": ("evacuated", True),
+    "rejection": ("rejected", False),
+    "evacuation-lost": ("lost", False),
+}
+
+
+def build_placement_spans(source: Records) -> List[PlacementSpan]:
+    """Group ``candidate-try`` chains by task id up to their settlement.
+
+    A task id can legitimately open several spans over a run (initial
+    placement, later evacuation off a compromised node); each settlement
+    closes the current span and the next try opens a new one.
+    """
+    spans: List[PlacementSpan] = []
+    open_spans: Dict[int, PlacementSpan] = {}
+    for rec in _records(source):
+        cat = rec.category
+        if cat == "candidate-try":
+            task_id = rec.payload["task"]
+            span = open_spans.get(task_id)
+            if span is None or (rec.payload.get("attempt", 0) == 0 and span.tries):
+                span = PlacementSpan(
+                    task_id=task_id, src=rec.payload["src"], started_at=rec.time
+                )
+                spans.append(span)
+                open_spans[task_id] = span
+            span.tries.append((rec.payload["dst"], rec.time))
+        elif cat in _SETTLEMENTS:
+            task_id = rec.payload.get("task")
+            span = open_spans.pop(task_id, None)
+            if span is None:
+                continue
+            outcome, has_dst = _SETTLEMENTS[cat]
+            span.outcome = outcome or rec.payload.get("outcome", "migrated")
+            span.dst = rec.payload.get("dst") if has_dst else None
+            span.settled_at = rec.time
+    return spans

@@ -1,0 +1,145 @@
+"""Live sweep telemetry.
+
+Multi-hour sweeps used to be silent until the final table.  A
+:class:`ProgressReporter` threaded into
+:func:`repro.experiments.sweep.run_sweep` (or ``run_replications``)
+prints one line per completed run — runs done / total, elapsed, ETA —
+plus per-protocol rolling summaries of message rate and loss rate, the
+two quantities the paper's figures track.  ``python -m repro.experiments
+--observe`` wires it up on stderr so progress never contaminates the
+result tables on stdout.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, TextIO
+
+from ..metrics.collector import RunResult
+
+__all__ = ["ProgressReporter", "ProtocolRollup"]
+
+
+@dataclass
+class ProtocolRollup:
+    """Rolling per-protocol summary across completed runs."""
+
+    runs: int = 0
+    message_rate_sum: float = 0.0   # weighted messages per simulated second
+    loss_rate_sum: float = 0.0      # (rejected + lost) / generated
+    admitted_sum: float = 0.0       # admission probability
+
+    def add(self, result: RunResult) -> None:
+        self.runs += 1
+        horizon = result.horizon or 1.0
+        self.message_rate_sum += result.messages_total / horizon
+        if result.generated:
+            self.loss_rate_sum += (result.rejected + result.lost) / result.generated
+        self.admitted_sum += result.admission_probability
+
+    @property
+    def message_rate(self) -> float:
+        return self.message_rate_sum / self.runs if self.runs else 0.0
+
+    @property
+    def loss_rate(self) -> float:
+        return self.loss_rate_sum / self.runs if self.runs else 0.0
+
+    @property
+    def admission(self) -> float:
+        return self.admitted_sum / self.runs if self.runs else 0.0
+
+
+class ProgressReporter:
+    """Streams sweep progress; safe to share across serial/parallel sweeps.
+
+    Parameters
+    ----------
+    total:
+        Planned number of runs (drives the ETA).
+    stream:
+        Output file object (default: stderr, so stdout tables stay clean).
+    clock:
+        Injectable monotonic clock (tests pass a fake).
+    min_interval:
+        Suppress per-run lines arriving closer together than this many
+        wall seconds (0 = print every run).  Milestone runs (first, last)
+        always print.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        stream: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.monotonic,
+        min_interval: float = 0.0,
+    ) -> None:
+        if total < 1:
+            raise ValueError("total must be >= 1")
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.min_interval = float(min_interval)
+        self.completed = 0
+        self.rollups: Dict[str, ProtocolRollup] = {}
+        self._started_at: Optional[float] = None
+        self._last_line_at = -float("inf")
+
+    # Sweep-facing -------------------------------------------------------
+
+    def update(self, cfg: object, result: RunResult) -> None:
+        """One run finished; ``cfg`` is its ExperimentConfig."""
+        if self._started_at is None:
+            self._started_at = self.clock()
+        self.completed += 1
+        protocol = str(getattr(cfg, "protocol", result.params.get("protocol", "?")))
+        rollup = self.rollups.setdefault(protocol, ProtocolRollup())
+        rollup.add(result)
+
+        now = self.clock()
+        milestone = self.completed in (1, self.total)
+        if not milestone and (now - self._last_line_at) < self.min_interval:
+            return
+        self._last_line_at = now
+        self.stream.write(self._line(cfg, result, protocol, now) + "\n")
+        self.stream.flush()
+
+    # Rendering ----------------------------------------------------------
+
+    def _line(self, cfg: object, result: RunResult, protocol: str, now: float) -> str:
+        elapsed = now - (self._started_at if self._started_at is not None else now)
+        eta = (
+            elapsed / self.completed * (self.total - self.completed)
+            if self.completed
+            else 0.0
+        )
+        rate = getattr(cfg, "arrival_rate", result.params.get("lambda", "?"))
+        rollup = self.rollups[protocol]
+        return (
+            f"[obs] {self.completed}/{self.total} "
+            f"{protocol} lambda={rate} "
+            f"adm={result.admission_probability:.3f} "
+            f"msg/s={rollup.message_rate:.1f} "
+            f"loss={rollup.loss_rate:.3f} "
+            f"elapsed={elapsed:.1f}s eta={eta:.1f}s"
+        )
+
+    def summary(self) -> str:
+        """Final per-protocol rollup table."""
+        from ..metrics.report import format_table
+
+        rows = [
+            [proto, r.runs, r.admission, r.message_rate, r.loss_rate]
+            for proto, r in sorted(self.rollups.items())
+        ]
+        header = (
+            f"[obs] sweep complete: {self.completed}/{self.total} runs"
+        )
+        if not rows:
+            return header
+        return header + "\n" + format_table(
+            ["protocol", "runs", "adm", "msg/s", "loss"], rows
+        )

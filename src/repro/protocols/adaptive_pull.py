@@ -52,6 +52,7 @@ class AdaptivePullAgent(DiscoveryAgent):
             response_timeout=cfg.response_timeout,
             adaptive=not fixed_window,
             min_interval=cfg.min_help_interval,
+            owner=self.node_id,
         )
         self.pledge_policy = PledgePolicy(self.host, cfg.threshold)
         self._pending_demand = 0.0
@@ -76,7 +77,14 @@ class AdaptivePullAgent(DiscoveryAgent):
             members=0,
             demand=self._pending_demand,
             sent_at=self.sim.now,
+            help_id=self.help.last_help_id,
         )
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, "help-sent", node=self.node_id, demand=msg.demand,
+                help_id=msg.help_id,
+            )
         self.flood(KIND_HELP, msg)
 
     # Response ---------------------------------------------------------------
@@ -87,12 +95,22 @@ class AdaptivePullAgent(DiscoveryAgent):
             return
         if not self.safe or not self.pledge_policy.should_pledge_on_help():
             return
-        pledge = self.pledge_policy.make_pledge(communities=0, now=self.sim.now)
+        pledge = self.pledge_policy.make_pledge(
+            communities=0, now=self.sim.now, in_reply_to=help_msg.help_id
+        )
         self.pledges_sent += 1
         self.transport.unicast(self.node_id, help_msg.organizer, KIND_PLEDGE, pledge)
 
     def _on_pledge(self, delivery: Delivery) -> None:
         pledge: Pledge = delivery.payload
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, "pledge-recv", node=self.node_id,
+                pledger=pledge.pledger, help_id=pledge.in_reply_to,
+                latency=self.sim.now - pledge.sent_at,
+                hops=max(self.transport.router.distance(self.node_id, pledge.pledger), 0),
+            )
         available = pledge.usage < self.config.threshold
         self.view.update(
             pledge.pledger, pledge.availability, pledge.usage, available, pledge.sent_at

@@ -48,8 +48,15 @@ class PurePullAgent(DiscoveryAgent):
             return
         self.helps_sent += 1
         msg = Help(
-            organizer=self.node_id, members=0, demand=task.size, sent_at=self.sim.now
+            organizer=self.node_id, members=0, demand=task.size, sent_at=self.sim.now,
+            help_id=self.helps_sent - 1,
         )
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, "help-sent", node=self.node_id, demand=msg.demand,
+                help_id=msg.help_id,
+            )
         self.flood(KIND_HELP, msg)
 
     # Response -------------------------------------------------------------
@@ -60,12 +67,22 @@ class PurePullAgent(DiscoveryAgent):
             return
         if not self.safe or not self.pledge_policy.should_pledge_on_help():
             return
-        pledge = self.pledge_policy.make_pledge(communities=0, now=self.sim.now)
+        pledge = self.pledge_policy.make_pledge(
+            communities=0, now=self.sim.now, in_reply_to=help_msg.help_id
+        )
         self.pledges_sent += 1
         self.transport.unicast(self.node_id, help_msg.organizer, KIND_PLEDGE, pledge)
 
     def _on_pledge(self, delivery: Delivery) -> None:
         pledge: Pledge = delivery.payload
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, "pledge-recv", node=self.node_id,
+                pledger=pledge.pledger, help_id=pledge.in_reply_to,
+                latency=self.sim.now - pledge.sent_at,
+                hops=max(self.transport.router.distance(self.node_id, pledge.pledger), 0),
+            )
         self.view.update(
             pledge.pledger,
             pledge.availability,

@@ -26,6 +26,7 @@ class TestExamples:
             "scaling_study.py",
             "agile_cluster.py",
             "dynamic_overlay.py",
+            "observe_run.py",
         } <= names
 
     @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)

@@ -9,9 +9,11 @@ from repro.experiments.sweep import run_sweep
 from repro.metrics.export import (
     FORMAT_TAG,
     load_sweep,
+    load_sweep_csv,
     result_from_dict,
     result_to_dict,
     save_sweep,
+    save_sweep_csv,
 )
 
 
@@ -69,3 +71,70 @@ class TestSweepFiles:
             (3.0, 7.0), protocols=("realtor", "push-1"), raw=loaded
         )
         assert result.series["realtor"]  # projected from disk, no sim runs
+
+    def test_save_is_byte_deterministic(self, sweep, tmp_path):
+        a = save_sweep(sweep, tmp_path / "a.json").read_bytes()
+        b = save_sweep(sweep, tmp_path / "b.json").read_bytes()
+        assert a == b
+
+
+class TestCsvRoundTrip:
+    def test_save_load_round_trip_equal(self, sweep, tmp_path):
+        path = save_sweep_csv(sweep, tmp_path / "sweep.csv")
+        loaded = load_sweep_csv(path)
+        assert set(loaded) == set(sweep)
+        for proto in sweep:
+            assert set(loaded[proto]) == set(sweep[proto])
+            for rate in sweep[proto]:
+                assert loaded[proto][rate] == sweep[proto][rate]
+
+    def test_messages_by_kind_key_order_deterministic(self, sweep, tmp_path):
+        """Both formats give a deterministic, equal-value key order.
+
+        The JSON file canonicalises (``sort_keys=True``): keys come back
+        sorted, independent of emission order.  The CSV keeps insertion
+        order exactly (keys are JSON-encoded per cell without sorting).
+        Either way two saves load identically.
+        """
+        original = sweep["realtor"][7.0]
+        assert original.messages_by_kind  # the run really sent messages
+
+        from_json = load_sweep(save_sweep(sweep, tmp_path / "s.json"))
+        rebuilt = from_json["realtor"][7.0]
+        assert list(rebuilt.messages_by_kind) == sorted(original.messages_by_kind)
+        assert rebuilt.messages_by_kind == original.messages_by_kind
+
+        from_csv = load_sweep_csv(save_sweep_csv(sweep, tmp_path / "s.csv"))
+        assert (
+            list(from_csv["realtor"][7.0].messages_by_kind)
+            == list(original.messages_by_kind)
+        )
+
+    def test_csv_is_byte_deterministic(self, sweep, tmp_path):
+        a = save_sweep_csv(sweep, tmp_path / "a.csv").read_bytes()
+        b = save_sweep_csv(sweep, tmp_path / "b.csv").read_bytes()
+        assert a == b
+
+    def test_one_row_per_run_plus_header(self, sweep, tmp_path):
+        path = save_sweep_csv(sweep, tmp_path / "sweep.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("protocol,rate,")
+        assert len(lines) == 1 + sum(len(s) for s in sweep.values())
+
+    def test_wrong_header_rejected(self, tmp_path):
+        p = tmp_path / "bogus.csv"
+        p.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            load_sweep_csv(p)
+
+    def test_report_tables_render_from_loaded_csv(self, sweep, tmp_path):
+        """report.py consumes reloaded results exactly like live ones."""
+        from repro.metrics.report import describe_result, figure_table
+
+        loaded = load_sweep_csv(save_sweep_csv(sweep, tmp_path / "s.csv"))
+        live = figure_table(sweep, lambda r: r.admission_probability)
+        offline = figure_table(loaded, lambda r: r.admission_probability)
+        assert offline == live
+        assert describe_result(loaded["realtor"][7.0]) == describe_result(
+            sweep["realtor"][7.0]
+        )

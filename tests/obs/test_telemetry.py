@@ -1,0 +1,131 @@
+"""Sweep telemetry tests: rollups, progress lines, sweep integration."""
+
+import io
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweep import run_sweep
+from repro.metrics.collector import MetricsCollector
+from repro.node.task import Task, TaskOutcome
+from repro.obs.telemetry import ProgressReporter, ProtocolRollup
+
+
+def make_result(protocol="realtor", generated=10, admitted=8, messages=500.0):
+    mc = MetricsCollector()
+    for _ in range(generated):
+        mc.task_generated()
+    for _ in range(admitted):
+        t = Task(size=1.0, arrival_time=0.0, origin=0)
+        t.mark_admitted(0, 0.0, TaskOutcome.LOCAL)
+        mc.task_admitted(t)
+    for _ in range(generated - admitted):
+        mc.task_rejected(Task(size=1.0, arrival_time=0.0, origin=0))
+    mc.on_cost("HELP", messages)
+    return mc.result({"protocol": protocol, "lambda": 5.0}, horizon=100.0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestProtocolRollup:
+    def test_means_over_runs(self):
+        r = ProtocolRollup()
+        r.add(make_result(generated=10, admitted=8, messages=500.0))
+        r.add(make_result(generated=10, admitted=6, messages=700.0))
+        assert r.runs == 2
+        assert r.message_rate == pytest.approx((5.0 + 7.0) / 2)
+        assert r.loss_rate == pytest.approx((0.2 + 0.4) / 2)
+        assert r.admission == pytest.approx((0.8 + 0.6) / 2)
+
+    def test_empty_rollup_is_zero(self):
+        r = ProtocolRollup()
+        assert r.message_rate == r.loss_rate == r.admission == 0.0
+
+
+class TestProgressReporter:
+    def test_line_per_run_with_eta(self):
+        out = io.StringIO()
+        clock = FakeClock()
+        rep = ProgressReporter(4, stream=out, clock=clock)
+        cfg = ExperimentConfig(protocol="realtor", arrival_rate=5.0)
+        clock.t = 0.0
+        rep.update(cfg, make_result())
+        clock.t = 10.0
+        rep.update(cfg, make_result())
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[obs] 1/4 realtor lambda=5.0")
+        assert "adm=0.800" in lines[0]
+        # 2 done in 10s -> 2 left at 5s each
+        assert "elapsed=10.0s eta=10.0s" in lines[1]
+
+    def test_min_interval_suppresses_but_keeps_milestones(self):
+        out = io.StringIO()
+        clock = FakeClock()
+        rep = ProgressReporter(3, stream=out, clock=clock, min_interval=60.0)
+        cfg = ExperimentConfig(protocol="realtor")
+        for _ in range(3):
+            clock.t += 1.0
+            rep.update(cfg, make_result())
+        lines = out.getvalue().splitlines()
+        # first and last always print; the middle run is rate-limited away
+        assert len(lines) == 2
+        assert lines[0].startswith("[obs] 1/3")
+        assert lines[1].startswith("[obs] 3/3")
+
+    def test_rollups_track_protocols_separately(self):
+        rep = ProgressReporter(4, stream=io.StringIO(), clock=FakeClock())
+        rep.update(ExperimentConfig(protocol="realtor"), make_result("realtor"))
+        rep.update(ExperimentConfig(protocol="push-1"), make_result("push-1"))
+        assert set(rep.rollups) == {"realtor", "push-1"}
+        assert rep.completed == 2
+
+    def test_summary_table(self):
+        rep = ProgressReporter(2, stream=io.StringIO(), clock=FakeClock())
+        rep.update(ExperimentConfig(protocol="realtor"), make_result("realtor"))
+        text = rep.summary()
+        assert "sweep complete: 1/2" in text
+        assert "realtor" in text and "msg/s" in text
+
+    def test_total_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(0)
+
+
+class TestSweepIntegration:
+    def test_serial_sweep_streams_updates(self):
+        out = io.StringIO()
+        rep = ProgressReporter(4, stream=out, clock=FakeClock())
+        base = ExperimentConfig(horizon=60.0)
+        results = run_sweep(["realtor", "push-1"], [3.0, 7.0], base, progress=rep)
+        assert rep.completed == 4
+        assert set(rep.rollups) == {"realtor", "push-1"}
+        assert len(out.getvalue().splitlines()) == 4
+        assert set(results) == {"realtor", "push-1"}
+
+    def test_progress_does_not_change_results(self):
+        base = ExperimentConfig(horizon=60.0)
+        plain = run_sweep(["realtor"], [3.0, 7.0], base)
+        observed = run_sweep(
+            ["realtor"], [3.0, 7.0], base,
+            progress=ProgressReporter(2, stream=io.StringIO(), clock=FakeClock()),
+        )
+        assert observed == plain
+
+    def test_parallel_sweep_streams_updates(self):
+        out = io.StringIO()
+        rep = ProgressReporter(2, stream=out, clock=FakeClock())
+        base = ExperimentConfig(horizon=60.0)
+        results = run_sweep(
+            ["realtor"], [3.0, 7.0], base,
+            parallel=True, max_workers=2, progress=rep,
+        )
+        assert rep.completed == 2
+        serial = run_sweep(["realtor"], [3.0, 7.0], base)
+        assert results == serial

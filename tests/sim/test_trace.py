@@ -53,6 +53,42 @@ class TestEmit:
         assert t.dropped == 1
         assert seen == [0.0, 1.0]  # but the stream sees everything
 
+    def test_remove_sink(self):
+        t = Tracer()
+        seen = []
+        sink = seen.append
+        t.add_sink(sink)
+        t.emit(0.0, "x")
+        t.remove_sink(sink)
+        t.emit(1.0, "x")
+        assert len(seen) == 1
+        t.remove_sink(sink)  # absent: no error
+
+    def test_close_sinks_passes_summary(self):
+        class Closeable:
+            def __init__(self):
+                self.closed_with = None
+
+            def __call__(self, rec):
+                pass
+
+            def close(self, summary=None):
+                self.closed_with = summary
+
+        t = Tracer(limit=2)
+        sink = Closeable()
+        t.add_sink(sink)
+        t.add_sink(lambda r: None)  # plain callables survive close_sinks
+        for i in range(3):
+            t.emit(float(i), "x")
+        t.close_sinks()
+        assert sink.closed_with == {
+            "recorded": 2,
+            "dropped": 1,
+            "limit": 2,
+            "categories": {"x": 2},
+        }
+
 
 class TestQueries:
     def test_select_by_payload(self):
@@ -98,3 +134,43 @@ class TestQueries:
         t.emit(0.0, "x")
         t.clear()
         assert len(t) == 0 and t.dropped == 0
+
+    def test_clear_resets_the_category_index(self):
+        t = Tracer()
+        t.emit(0.0, "x")
+        t.clear()
+        assert t.categories_seen() == {}
+        assert t.select("x") == []
+        t.emit(1.0, "x")
+        assert t.count("x") == 1
+
+    def test_summary_accounts_stored_and_dropped(self):
+        t = Tracer(limit=2)
+        t.emit(0.0, "a")
+        t.emit(1.0, "b")
+        t.emit(2.0, "b")  # over the cap
+        assert t.summary() == {
+            "recorded": 2,
+            "dropped": 1,
+            "limit": 2,
+            "categories": {"a": 1, "b": 1},
+        }
+
+    def test_index_matches_linear_scan(self):
+        t = Tracer()
+        for i in range(20):
+            t.emit(float(i), "even" if i % 2 == 0 else "odd", i=i)
+        for cat in ("even", "odd", "missing"):
+            scan = [r for r in t.records if r.category == cat]
+            assert t.select(cat) == scan
+            assert t.count(cat) == len(scan)
+        assert t.count("even", i=4) == 1
+        assert t.select("odd", i=4) == []
+
+    def test_dropped_records_stay_out_of_the_index(self):
+        t = Tracer(limit=1)
+        t.add_sink(lambda r: None)  # keeps record construction past cap
+        t.emit(0.0, "x")
+        t.emit(1.0, "x")
+        assert t.count("x") == 1
+        assert t.categories_seen() == {"x": 1}
