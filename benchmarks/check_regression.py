@@ -1,6 +1,6 @@
 """CI regression gates for the engine fast paths.
 
-Two gates, both against the committed ``BENCH_engine.json``:
+Three gates, all against the committed ``BENCH_engine.json``:
 
 * **queue gate** — re-measures the ``queue_admission_throughput``
   micro-benchmark at full size (it is fast enough for CI
@@ -17,6 +17,12 @@ Two gates, both against the committed ``BENCH_engine.json``:
   factored out by normalising with the queue benchmark's
   measured/committed ratio from the same process, so the gate measures
   *relative* overhead of the tracing-disabled paths, not CI hardware.
+
+* **transport overhead gate** — re-measures ``flood_throughput`` (the
+  flood fan-out with *no* impairments installed, the path that now
+  carries the ``impair is not None`` branch) the same
+  machine-speed-normalised way, so the impairment layer's disabled path
+  stays within the ``--transport-tolerance`` budget (default 5%).
 
 Usage::
 
@@ -36,6 +42,7 @@ from harness import (
     DEFAULT_OUTPUT,
     _time_best_of,
     bench_event_throughput,
+    bench_flood_throughput,
     bench_queue_admission_throughput,
 )
 
@@ -45,6 +52,9 @@ OPS = 10_000
 OVERHEAD_GATED = "event_throughput"
 OVERHEAD_OPS = 20_000
 
+TRANSPORT_GATED = "flood_throughput"
+TRANSPORT_OPS = 500
+
 
 def check(
     committed_path: Path,
@@ -52,6 +62,7 @@ def check(
     repeats: int = 5,
     output: Optional[Path] = None,
     overhead_tolerance: float = 0.05,
+    transport_tolerance: float = 0.05,
 ) -> int:
     committed = json.loads(committed_path.read_text())
     if committed.get("mode") != "full":
@@ -82,6 +93,15 @@ def check(
     if overhead is not None:
         ok = ok and overhead["passed"]
 
+    transport = check_transport_overhead(
+        committed,
+        speed_ratio=measured_ops / committed_ops,
+        tolerance=transport_tolerance,
+        repeats=repeats,
+    )
+    if transport is not None:
+        ok = ok and transport["passed"]
+
     if output is not None:
         report = {
             "benchmark": GATED,
@@ -94,6 +114,8 @@ def check(
         }
         if overhead is not None:
             report["overhead_gate"] = overhead
+        if transport is not None:
+            report["transport_gate"] = transport
         output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"wrote {output}")
     return 0 if ok else 1
@@ -144,6 +166,51 @@ def check_overhead(
     }
 
 
+def check_transport_overhead(
+    committed: dict,
+    *,
+    speed_ratio: float,
+    tolerance: float = 0.05,
+    repeats: int = 5,
+) -> Optional[dict]:
+    """Gate the impairments-off transport path against relative regression.
+
+    ``flood_throughput`` builds a default transport — no fault predicates,
+    no impairment engine — so its fan-out loop runs the exact branch
+    structure every paper-faithful experiment uses.  The floor scales with
+    ``speed_ratio`` like the kernel-loop gate: only cost added to the
+    disabled path itself (the impairment hook check, the live-router
+    fallback) can fail it.
+    """
+    entry = committed.get("micro", {}).get(TRANSPORT_GATED)
+    if not entry or entry.get("ops") != TRANSPORT_OPS:
+        print(f"no full-size {TRANSPORT_GATED} entry; skipping transport gate")
+        return None
+    committed_ops = entry["ops_per_second"]
+    best = _time_best_of(lambda: bench_flood_throughput(TRANSPORT_OPS), repeats)
+    measured_ops = TRANSPORT_OPS / best
+    floor = (1.0 - tolerance) * committed_ops * speed_ratio
+    ok = measured_ops >= floor
+    print(
+        f"{TRANSPORT_GATED} (impairments-off transport overhead): "
+        f"measured {measured_ops:,.0f} ops/s, "
+        f"committed {committed_ops:,.0f} ops/s, "
+        f"machine-speed ratio {speed_ratio:.2f}, floor {floor:,.0f} ops/s "
+        f"(<{tolerance:.0%} relative overhead) -> "
+        f"{'OK' if ok else 'REGRESSION'}"
+    )
+    return {
+        "benchmark": TRANSPORT_GATED,
+        "ops": TRANSPORT_OPS,
+        "measured_min_seconds": round(best, 6),
+        "measured_ops_per_second": round(measured_ops, 1),
+        "committed_ops_per_second": committed_ops,
+        "speed_ratio": round(speed_ratio, 4),
+        "tolerance": tolerance,
+        "passed": ok,
+    }
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -158,6 +225,11 @@ def main(argv: Optional[list] = None) -> int:
         "--overhead-tolerance", type=float, default=0.05,
         help="allowed relative regression of the tracing-disabled kernel "
              "loop after machine-speed normalisation (default 5%%)",
+    )
+    parser.add_argument(
+        "--transport-tolerance", type=float, default=0.05,
+        help="allowed relative regression of the impairments-off transport "
+             "fan-out after machine-speed normalisation (default 5%%)",
     )
     parser.add_argument(
         "--repeats", type=int, default=5,
@@ -175,6 +247,7 @@ def main(argv: Optional[list] = None) -> int:
         args.repeats,
         args.output,
         overhead_tolerance=args.overhead_tolerance,
+        transport_tolerance=args.transport_tolerance,
     )
 
 

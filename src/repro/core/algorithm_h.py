@@ -54,6 +54,15 @@ class HelpScheduler:
         the ``Pull-100`` baseline where the window is fixed.
     min_interval:
         Positivity floor implementing the paper's ``> 0`` reward guard.
+    max_retries, retry_backoff:
+        Loss hardening (off by default — the paper's network never drops
+        a message).  With ``max_retries > 0`` an unanswered response
+        window re-floods the HELP up to that many times, each retry
+        waiting ``retry_backoff`` times longer, before the round is
+        conceded.  The Algorithm H penalty applies once per *round* (after
+        the final retry), not per transmission, so the adaptive interval
+        dynamics are unchanged — retries only defend one round against
+        message loss.
     """
 
     def __init__(
@@ -68,6 +77,8 @@ class HelpScheduler:
         response_timeout: float,
         adaptive: bool = True,
         min_interval: float = 1e-3,
+        max_retries: int = 0,
+        retry_backoff: float = 2.0,
         on_timeout: Optional[Callable[[], None]] = None,
         owner: Optional[int] = None,
     ) -> None:
@@ -75,6 +86,8 @@ class HelpScheduler:
             raise ValueError("need 0 < initial_interval <= upper_limit")
         if response_timeout <= 0:
             raise ValueError("response_timeout must be positive")
+        if max_retries < 0 or retry_backoff < 1.0:
+            raise ValueError("need max_retries >= 0 and retry_backoff >= 1")
         self.sim = sim
         self.send = send
         self.interval = float(initial_interval)
@@ -84,6 +97,8 @@ class HelpScheduler:
         self.response_timeout = float(response_timeout)
         self.adaptive = adaptive
         self.min_interval = float(min_interval)
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
         #: optional escalation hook fired on every failed round — the
         #: inter-community extension uses this to go up a level
         self.on_timeout = on_timeout
@@ -96,8 +111,11 @@ class HelpScheduler:
         #: scheduler — ``(owner, last_help_id)`` keys the causality span
         self.last_help_id = -1
         self._timer: Optional[Event] = None
+        self._retries_left = 0
+        self._timeout_scale = 1.0
         self.helps_sent = 0
         self.timeouts = 0
+        self.retries = 0
         self.rewards = 0
         self.penalties = 0
         #: (time, interval) trail for the ablation study
@@ -119,13 +137,17 @@ class HelpScheduler:
         self.last_sent = now
         self.helps_sent += 1
         self.last_help_id += 1
+        self._retries_left = self.max_retries
+        self._timeout_scale = 1.0
         self._arm_timer()
         self.send()
         return True
 
     def _arm_timer(self) -> None:
         self._disarm_timer()
-        self._timer = self.sim.after(self.response_timeout, self._on_timeout)
+        self._timer = self.sim.after(
+            self.response_timeout * self._timeout_scale, self._on_timeout
+        )
 
     def _disarm_timer(self) -> None:
         if self._timer is not None:
@@ -137,6 +159,18 @@ class HelpScheduler:
     def _on_timeout(self) -> None:
         """Penalty: no pledge within the response window."""
         self._timer = None
+        if self._retries_left > 0:
+            # The HELP (or every pledge) may have been lost in transit:
+            # re-flood with a backed-off window before conceding the round.
+            self._retries_left -= 1
+            self._timeout_scale *= self.retry_backoff
+            self.retries += 1
+            self.helps_sent += 1
+            self.last_help_id += 1
+            self.last_sent = self.sim.now
+            self._arm_timer()
+            self.send()
+            return
         self.timeouts += 1
         if self.on_timeout is not None:
             self.on_timeout()

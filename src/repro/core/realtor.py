@@ -51,6 +51,8 @@ class RealtorAgent(DiscoveryAgent):
             response_timeout=cfg.response_timeout,
             adaptive=True,
             min_interval=cfg.min_help_interval,
+            max_retries=cfg.help_retry_budget,
+            retry_backoff=cfg.help_retry_backoff,
             owner=self.node_id,
         )
         self.pledges = PledgePolicy(self.host, cfg.threshold)

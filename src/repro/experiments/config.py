@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from ..network.impairments import ImpairmentConfig
 from ..protocols.base import ProtocolConfig
 
 __all__ = ["ExperimentConfig", "paper_config", "PAPER_LAMBDAS"]
@@ -68,8 +69,16 @@ class ExperimentConfig:
     flood_cost_override: Optional[float] = None
     per_hop_latency: float = 0.0
 
+    #: message-level impairments (loss / jitter / duplication / reorder);
+    #: ``None`` (the paper's perfect network) keeps the transport's
+    #: impairment hook uninstalled — the default path is byte-identical
+    impairments: Optional[ImpairmentConfig] = None
+
     # Migration -------------------------------------------------------------------
     policy: str = "one-shot"
+    #: extra candidates tried when a negotiation fails silently (candidate
+    #: unreachable or timed out); 0 = paper-faithful one-shot behaviour
+    migration_retry_budget: int = 0
 
     # Run control --------------------------------------------------------------------
     horizon: float = 10_000.0
@@ -96,6 +105,8 @@ class ExperimentConfig:
             raise ValueError("deadline_factor must be positive")
         if self.arrival_process not in ("poisson", "deterministic"):
             raise ValueError(f"unknown arrival process: {self.arrival_process!r}")
+        if self.migration_retry_budget < 0:
+            raise ValueError("migration_retry_budget must be >= 0")
 
     # Derived ------------------------------------------------------------
 

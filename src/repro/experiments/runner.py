@@ -21,6 +21,7 @@ from ..migration.migrator import MigrationCoordinator
 from ..migration.policy import make_policy
 from ..network import generators
 from ..network.faults import FaultManager
+from ..network.impairments import NetworkImpairments
 from ..network.topology import Topology
 from ..network.transport import CostModel, Transport, UnicastCostMode
 from ..node.host import Host
@@ -213,6 +214,25 @@ class System:
             self.transport.delivered_messages
         )
         self.metrics.extra["view_staleness"] = self.mean_view_staleness()
+        # Hardening counters: message fates under impairments and what the
+        # protocols did about them (retries, fallbacks).
+        self.metrics.extra["dropped_messages"] = float(self.transport.dropped_messages)
+        self.metrics.extra["help_retries"] = float(
+            sum(
+                agent.help.retries
+                for agent in self.agents.values()
+                if hasattr(agent, "help")
+            )
+        )
+        self.metrics.extra["migration_fallbacks"] = float(
+            self.coordinator.silent_fallbacks
+        )
+        self.metrics.extra["negotiation_timeouts"] = float(
+            sum(a.timeouts_fired for a in self.admissions.values())
+        )
+        if self.transport.impairments is not None:
+            for key, value in self.transport.impairments.counters().items():
+                self.metrics.extra[f"impairment_{key}"] = float(value)
         return self.metrics.result(
             self.cfg.params(), self.sim.now, self.mean_help_interval()
         )
@@ -224,16 +244,27 @@ def build_system(cfg: ExperimentConfig) -> System:
     topo = _build_topology(cfg)
     faults = FaultManager(sim, topo)
     metrics = MetricsCollector()
+    # The impairment engine gets its own named substream so lossy runs
+    # share common random numbers (arrivals, sizes...) with clean ones;
+    # when disabled the stream is never even instantiated.
+    impairments = None
+    if cfg.impairments is not None and cfg.impairments.enabled:
+        impairments = NetworkImpairments(
+            cfg.impairments, sim.streams.stream("impairments")
+        )
     transport = Transport(
         sim,
         topo,
         # the transport's liveness is communication ability: a compromised
         # node still talks (to evacuate); only crashed nodes fall silent
         is_up=faults.can_communicate,
+        # failed links drop out of floods and unicast routes alike
+        link_up=faults.link_up,
         liveness_version=lambda: faults.version,
         cost_model=_cost_model(cfg),
         per_hop_latency=cfg.per_hop_latency,
         on_cost=metrics.on_cost,
+        impairments=impairments,
     )
     nodes = topo.nodes()
 
@@ -288,7 +319,14 @@ def build_system(cfg: ExperimentConfig) -> System:
         cfg.policy, all_nodes=list(nodes), rng=rng_streams.stream("policy")
     )
     coordinator = MigrationCoordinator(
-        sim, hosts, agents, admissions, metrics, policy=policy, is_up=faults.is_up
+        sim,
+        hosts,
+        agents,
+        admissions,
+        metrics,
+        policy=policy,
+        is_up=faults.is_up,
+        silent_retry_budget=cfg.migration_retry_budget,
     )
     faults.on_change(coordinator.handle_fault)
 

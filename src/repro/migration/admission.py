@@ -87,6 +87,14 @@ class AdmissionControl:
         self._timeouts: Dict[int, Event] = {}
         self.requests_received = 0
         self.requests_granted = 0
+        #: why the most recent negotiation resolved, readable from inside
+        #: the callback: "granted" | "refused" (explicit denial) |
+        #: "timeout" (candidate silent) | "unreachable" (request
+        #: undeliverable).  Lets the migration layer distinguish a live
+        #: refusal from a silent candidate without widening the
+        #: ``callback(granted)`` signature.
+        self.last_reason: Optional[str] = None
+        self.timeouts_fired = 0
         transport.register(self.node_id, KIND_ADMIT_REQ, self._on_request)
         transport.register(self.node_id, KIND_ADMIT_REP, self._on_reply)
 
@@ -108,24 +116,26 @@ class AdmissionControl:
         sent = self.transport.unicast(self.node_id, candidate, KIND_ADMIT_REQ, req)
         if not sent:
             # Candidate unreachable/dead — fail fast (cost already charged).
-            self._resolve(nid, False)
+            self._resolve(nid, False, "unreachable")
             return
         self._timeouts[nid] = self.sim.after(self.reply_timeout, self._on_timeout, nid)
 
     def _on_timeout(self, negotiation_id: int) -> None:
         self._timeouts.pop(negotiation_id, None)
-        self._resolve(negotiation_id, False)
+        self.timeouts_fired += 1
+        self._resolve(negotiation_id, False, "timeout")
 
     def _on_reply(self, delivery: Delivery) -> None:
         rep: AdmitReply = delivery.payload
         timeout = self._timeouts.pop(rep.negotiation_id, None)
         if timeout is not None:
             timeout.cancel()
-        self._resolve(rep.negotiation_id, rep.granted)
+        self._resolve(rep.negotiation_id, rep.granted, "granted" if rep.granted else "refused")
 
-    def _resolve(self, negotiation_id: int, granted: bool) -> None:
+    def _resolve(self, negotiation_id: int, granted: bool, reason: str) -> None:
         callback = self._pending.pop(negotiation_id, None)
         if callback is not None:
+            self.last_reason = reason
             callback(granted)
 
     # Responder side ---------------------------------------------------------

@@ -46,6 +46,13 @@ class MigrationCoordinator:
         Migration-attempt policy (defaults to the paper's one-shot).
     is_up:
         Liveness predicate (from the fault manager); defaults to all-up.
+    silent_retry_budget:
+        Extra candidates tried when a negotiation fails *silently* (the
+        candidate timed out or was unreachable — distinct from an explicit
+        refusal).  ``0`` keeps the paper-faithful behaviour: the policy's
+        attempt list is final.  With a budget, each silent failure on the
+        last planned attempt appends the next-ranked untried candidate, so
+        one dead target does not doom a placement on a lossy network.
     """
 
     def __init__(
@@ -57,9 +64,12 @@ class MigrationCoordinator:
         metrics: MetricsCollector,
         policy: Optional[MigrationPolicy] = None,
         is_up: Optional[Callable[[int], bool]] = None,
+        silent_retry_budget: int = 0,
     ) -> None:
         if set(hosts) != set(agents) or set(hosts) != set(admissions):
             raise ValueError("hosts/agents/admissions must share the same node ids")
+        if silent_retry_budget < 0:
+            raise ValueError("silent_retry_budget must be >= 0")
         self.sim = sim
         self.hosts = hosts
         self.agents = agents
@@ -67,6 +77,9 @@ class MigrationCoordinator:
         self.metrics = metrics
         self.policy = policy if policy is not None else OneShotPolicy()
         self.is_up = is_up if is_up is not None else (lambda _n: True)
+        self.silent_retry_budget = silent_retry_budget
+        #: count of fallback candidates appended after silent failures
+        self.silent_fallbacks = 0
 
     # Placement ------------------------------------------------------------
 
@@ -97,11 +110,20 @@ class MigrationCoordinator:
         agent = self.agents[task.origin]
         ranked = agent.candidates(task)
         attempts = self.policy.select(task, ranked)
-        self._attempt_chain(task, attempts, 0, outcome)
+        self._attempt_chain(
+            task, list(attempts), 0, outcome, {"budget": self.silent_retry_budget}
+        )
 
     def _attempt_chain(
-        self, task: Task, attempts: List[int], idx: int, outcome: TaskOutcome
+        self,
+        task: Task,
+        attempts: List[int],
+        idx: int,
+        outcome: TaskOutcome,
+        state: Optional[Dict[str, int]] = None,
     ) -> None:
+        if state is None:
+            state = {"budget": self.silent_retry_budget}
         if idx >= len(attempts):
             self._give_up(task, outcome)
             return
@@ -141,9 +163,36 @@ class MigrationCoordinator:
                 # Stale view: drop the failed candidate so an immediate
                 # retry (k-try policy) does not repeat it.
                 self.agents[task.origin].view.forget(candidate)
-                self._attempt_chain(task, attempts, idx + 1, outcome)
+                # Silent failure (timeout/unreachable) on the final planned
+                # attempt: spend retry budget on the next-ranked untried
+                # candidate.  An explicit refusal never falls back — the
+                # policy already bounded how many refusals to absorb.
+                if (
+                    state["budget"] > 0
+                    and idx + 1 >= len(attempts)
+                    and admission.last_reason in ("timeout", "unreachable")
+                ):
+                    fallback = self._next_candidate(task, tried=attempts)
+                    if fallback is not None:
+                        state["budget"] -= 1
+                        self.silent_fallbacks += 1
+                        attempts.append(fallback)
+                        self.sim.trace.emit(
+                            self.sim.now,
+                            "silent-fallback",
+                            task=task.task_id,
+                            src=task.origin,
+                            dst=fallback,
+                            silent=candidate,
+                        )
+                self._attempt_chain(task, attempts, idx + 1, outcome, state)
 
         admission.negotiate(task, candidate, outcome, _done)
+
+    def _next_candidate(self, task: Task, tried: List[int]) -> Optional[int]:
+        """Best-ranked candidate not yet attempted (for silent fallback)."""
+        ranked = self.agents[task.origin].candidates(task, exclude=tuple(tried))
+        return ranked[0] if ranked else None
 
     def _give_up(self, task: Task, outcome: TaskOutcome) -> None:
         task.mark_rejected()

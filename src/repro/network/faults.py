@@ -55,6 +55,8 @@ class FaultManager:
     history: List[FaultEvent] = field(default_factory=list)
     #: bumped on every liveness transition; consumers key caches on it
     version: int = 0
+    #: outstanding down-window holds per node (see :meth:`hold_down`)
+    _holds: Dict[NodeId, int] = field(default_factory=dict)
 
     # Liveness queries -----------------------------------------------------
 
@@ -94,7 +96,38 @@ class FaultManager:
         self._transition(node, NodeState.COMPROMISED)
 
     def recover(self, node: NodeId) -> None:
+        """Unconditionally revive ``node``, clearing any outstanding
+        down-window holds (manual recovery overrides scheduled windows)."""
+        self._holds.pop(node, None)
         self._transition(node, NodeState.UP)
+
+    # Reference-counted down-windows --------------------------------------
+
+    def hold_down(self, node: NodeId, state: NodeState = NodeState.COMPROMISED) -> None:
+        """Open one down-window on ``node`` (refcounted).
+
+        Overlapping attack plans each open their own window; the node
+        stays down until *every* window is released.  Without the count,
+        a ``recover`` scheduled by an earlier window would revive a node
+        a later overlapping window still holds compromised.
+        """
+        if state is NodeState.UP:
+            raise ValueError("hold_down needs a non-UP state")
+        self._holds[node] = self._holds.get(node, 0) + 1
+        self._transition(node, state)
+
+    def release_down(self, node: NodeId) -> None:
+        """Close one down-window; the node recovers when none remain."""
+        remaining = self._holds.get(node, 0) - 1
+        if remaining > 0:
+            self._holds[node] = remaining
+            return
+        self._holds.pop(node, None)
+        self._transition(node, NodeState.UP)
+
+    def holds(self, node: NodeId) -> int:
+        """Outstanding down-window count for ``node`` (diagnostics)."""
+        return self._holds.get(node, 0)
 
     def fail_link(self, u: NodeId, v: NodeId) -> None:
         """Remove a link from the live overlay (kept in ``topo``; routing
@@ -130,6 +163,14 @@ class FaultManager:
 
     def schedule_recover(self, time: float, node: NodeId) -> None:
         self.sim.at(time, self.recover, node)
+
+    def schedule_window(
+        self, start: float, end: float, node: NodeId,
+        state: NodeState = NodeState.COMPROMISED,
+    ) -> None:
+        """Schedule one refcounted down-window ``[start, end)``."""
+        self.sim.at(start, self.hold_down, node, state)
+        self.sim.at(end, self.release_down, node)
 
     # Observation ---------------------------------------------------------------
 

@@ -1,0 +1,208 @@
+"""Network impairments — seeded, deterministic message-level faults.
+
+The paper's premise is survivability when communication degrades, yet a
+perfectly reliable transport never exercises the protocols' defences.
+This module supplies the missing scenario class: per-link message loss,
+per-hop latency jitter, duplication and reordering, drawn from a *named*
+RNG substream so impaired runs are exactly as reproducible as clean ones
+(identical seeds => identical traces, serial == parallel sweeps).
+
+Design constraints:
+
+* **Off by default, zero cost when off.**  A disabled
+  :class:`ImpairmentConfig` (all rates zero) never reaches the transport
+  hot path — :class:`~repro.network.transport.Transport` installs the
+  impairment hook only when :attr:`ImpairmentConfig.enabled` is true, so
+  the default path stays byte-identical to an impairment-free build.
+* **Loss compounds per link.**  A delivery that traverses ``h`` overlay
+  links survives with probability ``(1 - loss_rate) ** h`` — longer
+  routes are proportionally riskier, matching the per-link semantics of
+  the Petri-net verification work (Coti et al.) rather than a flat
+  per-message coin.  Direct-neighbour deliveries (the paper's
+  neighbour-scoped floods, 1-hop unicasts) additionally honour
+  ``link_loss`` overrides for targeted lossy-link scenarios.
+* **Deterministic draw discipline.**  The number of RNG draws per
+  delivery depends only on the configuration and previous draws, never
+  on wall time or dict ordering, so the stream stays aligned between
+  replays.
+
+Cost accounting is untouched by impairments: the paper charges a message
+when it is *sent* (the packets burn links before being dropped), so an
+impaired run pays full message cost for lost traffic — exactly the
+degradation the loss-rate sweep measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .topology import Link, NodeId
+
+__all__ = ["ImpairmentConfig", "NetworkImpairments"]
+
+
+def _norm(u: NodeId, v: NodeId) -> Link:
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class ImpairmentConfig:
+    """Knobs of the impairment model (all off by default).
+
+    Parameters
+    ----------
+    loss_rate:
+        Per-link drop probability in ``[0, 1)``.  A delivery over ``h``
+        links is lost with probability ``1 - (1 - loss_rate) ** h``.
+    jitter:
+        Maximum extra latency *per hop* in seconds; each delivery draws
+        uniformly from ``[0, jitter * hops]`` on top of the transport's
+        deterministic per-hop latency.
+    duplicate_rate:
+        Probability that a surviving delivery spawns one extra copy
+        (arriving after the primary).
+    reorder_rate:
+        Probability that a surviving delivery is deferred by
+        ``reorder_delay`` seconds, letting later sends overtake it.
+    reorder_delay:
+        Deferral applied to reordered (and duplicated) deliveries.
+    link_loss:
+        Per-link loss overrides as ``((u, v), probability)`` pairs,
+        consulted for direct-neighbour deliveries in place of
+        ``loss_rate`` (multi-hop routes compound the uniform rate).
+    """
+
+    loss_rate: float = 0.0
+    jitter: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_delay: float = 0.05
+    link_loss: Tuple[Tuple[Link, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "duplicate_rate", "reorder_rate"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1): {p!r}")
+        if self.jitter < 0.0 or self.reorder_delay < 0.0:
+            raise ValueError("jitter and reorder_delay must be non-negative")
+        for link, p in self.link_loss:
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"link_loss for {link} out of [0, 1]: {p!r}")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any impairment is active (the transport's install gate)."""
+        return bool(
+            self.loss_rate > 0.0
+            or self.jitter > 0.0
+            or self.duplicate_rate > 0.0
+            or self.reorder_rate > 0.0
+            or self.link_loss
+        )
+
+    def with_(self, **kwargs: object) -> "ImpairmentConfig":
+        """A modified copy (dataclass is frozen)."""
+        from dataclasses import replace
+
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+class NetworkImpairments:
+    """Stateful impairment engine: one per transport, seeded per run.
+
+    Parameters
+    ----------
+    config:
+        The (frozen) impairment knobs.
+    rng:
+        A dedicated :class:`numpy.random.Generator` — the runner wires
+        ``sim.streams.stream("impairments")`` so impairment draws never
+        perturb arrivals, sizes or placement (common random numbers
+        across impairment levels).
+    """
+
+    __slots__ = (
+        "config", "rng", "_link_loss",
+        "deliveries", "dropped", "duplicated", "reordered",
+    )
+
+    def __init__(self, config: ImpairmentConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+        self._link_loss: Dict[Link, float] = {
+            _norm(u, v): float(p) for (u, v), p in config.link_loss
+        }
+        self.deliveries = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    # Core verdict --------------------------------------------------------
+
+    def loss_probability(self, src: NodeId, dst: NodeId, hops: int) -> float:
+        """P(lost) for one delivery from ``src`` to ``dst`` over ``hops``."""
+        cfg = self.config
+        if hops <= 1:
+            return self._link_loss.get(_norm(src, dst), cfg.loss_rate)
+        if cfg.loss_rate <= 0.0:
+            return 0.0
+        return 1.0 - (1.0 - cfg.loss_rate) ** hops
+
+    def plan(self, src: NodeId, dst: NodeId, hops: int) -> Optional[List[float]]:
+        """Decide one delivery's fate.
+
+        Returns ``None`` when the message is lost, otherwise the list of
+        extra delays (seconds) for each copy to schedule — the first
+        entry is the primary, any further entries are duplicates.
+        """
+        self.deliveries += 1
+        cfg = self.config
+        rng = self.rng
+        if cfg.loss_rate > 0.0 or self._link_loss:
+            if float(rng.random()) < self.loss_probability(src, dst, hops):
+                self.dropped += 1
+                return None
+        delay = 0.0
+        if cfg.jitter > 0.0:
+            delay += float(rng.random()) * cfg.jitter * max(hops, 1)
+        if cfg.reorder_rate > 0.0 and float(rng.random()) < cfg.reorder_rate:
+            delay += cfg.reorder_delay
+            self.reordered += 1
+        delays = [delay]
+        if cfg.duplicate_rate > 0.0 and float(rng.random()) < cfg.duplicate_rate:
+            extra = cfg.reorder_delay
+            if cfg.jitter > 0.0:
+                extra += float(rng.random()) * cfg.jitter * max(hops, 1)
+            delays.append(delay + extra)
+            self.duplicated += 1
+        return delays
+
+    # Introspection --------------------------------------------------------
+
+    @property
+    def drop_rate(self) -> float:
+        """Observed fraction of planned deliveries that were dropped."""
+        return self.dropped / self.deliveries if self.deliveries else 0.0
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the impairment counters (for metrics/obs)."""
+        return {
+            "deliveries": self.deliveries,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<NetworkImpairments loss={self.config.loss_rate} "
+            f"dropped={self.dropped}/{self.deliveries}>"
+        )

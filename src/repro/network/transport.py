@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, Iterable, List, NamedTuple, Optional
 
 from ..sim.events import Priority
 from ..sim.kernel import Simulator
+from .impairments import NetworkImpairments
 from .routing import Router, bfs_distances
 from .topology import NodeId, Topology
 
@@ -34,6 +35,7 @@ __all__ = ["Transport", "Delivery", "CostModel", "UnicastCostMode"]
 
 Handler = Callable[["Delivery"], None]
 CostSink = Callable[[str, float], None]
+LinkPredicate = Callable[[NodeId, NodeId], bool]
 
 
 class UnicastCostMode(str, Enum):
@@ -69,6 +71,26 @@ class CostModel:
         d = router.distance(src, dst)
         return float(max(d, 0))
 
+    def dead_unicast_cost(
+        self, router: Router, src: NodeId, dst: NodeId, hops: int
+    ) -> float:
+        """Charge for a message whose destination is dead or unreachable.
+
+        The packets still traverse the network until dropped, so the
+        attempted route is charged through the same mode switch as a
+        delivered unicast.  ``hops`` is the attempted route length
+        (``-1`` when no route exists at all); with no route the best
+        attempt estimate is the mean path of what *is* reachable,
+        floored at one hop — the packet at least leaves the source.
+        """
+        if self.unicast_mode is UnicastCostMode.FIXED:
+            return self.fixed_unicast_cost
+        if self.unicast_mode is UnicastCostMode.MEAN:
+            return router.mean_shortest_path()
+        if hops >= 0:
+            return float(max(hops, 1))
+        return max(router.mean_shortest_path(), 1.0)
+
 
 class Delivery(NamedTuple):
     """What a handler receives: the payload plus delivery metadata.
@@ -99,6 +121,13 @@ class Transport:
     is_up:
         Predicate for node liveness; defaults to "always up".  The fault
         model (:mod:`repro.network.faults`) supplies the real one.
+    link_up:
+        Predicate ``(u, v) -> bool`` for link liveness; defaults to
+        "all links up".  The fault model's
+        :meth:`~repro.network.faults.FaultManager.link_up` supplies the
+        real one so ``fail_link`` severs floods and unicasts (the live
+        overlay is the one of
+        :meth:`~repro.network.faults.FaultManager.live_topology`).
     cost_model:
         See :class:`CostModel`.
     per_hop_latency:
@@ -106,6 +135,11 @@ class Transport:
     on_cost:
         Callback ``(message kind, cost)`` invoked once per send; the
         metrics collector hooks in here.
+    impairments:
+        Optional :class:`~repro.network.impairments.NetworkImpairments`.
+        Installed on the delivery path only when its config enables at
+        least one impairment; a ``None`` or fully-disabled engine leaves
+        every path byte-identical to an impairment-free transport.
     """
 
     def __init__(
@@ -114,15 +148,22 @@ class Transport:
         topo: Topology,
         *,
         is_up: Optional[Callable[[NodeId], bool]] = None,
+        link_up: Optional[LinkPredicate] = None,
         liveness_version: Optional[Callable[[], int]] = None,
         cost_model: Optional[CostModel] = None,
         per_hop_latency: float = 0.0,
         on_cost: Optional[CostSink] = None,
+        impairments: Optional[NetworkImpairments] = None,
     ) -> None:
         self.sim = sim
         self.topo = topo
         self.router = Router(topo)
         self.is_up = is_up if is_up is not None else (lambda _n: True)
+        self.link_up = link_up
+        #: with neither a liveness nor a link predicate the live overlay
+        #: *is* the full topology, so routing skips the live-subgraph
+        #: machinery entirely (keeps the fault-free path allocation-free)
+        self._fault_aware = is_up is not None or link_up is not None
         #: liveness mutation counter; floods cache their (receivers, depths,
         #: link count) per source until topology or liveness changes.  The
         #: default constant works with the default always-up predicate.
@@ -132,8 +173,15 @@ class Transport:
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.per_hop_latency = float(per_hop_latency)
         self.on_cost = on_cost
+        self.impairments = impairments
+        #: hot-path hook: non-None only when impairments are actually on
+        self._impair = (
+            impairments if impairments is not None and impairments.enabled else None
+        )
         self._handlers: Dict[NodeId, Dict[str, Handler]] = {}
         self._flood_cache: Dict[NodeId, tuple] = {}
+        self._live_router: Optional[Router] = None
+        self._live_router_key: Optional[tuple] = None
         self.sent_messages = 0
         self.delivered_messages = 0
         self.dropped_messages = 0
@@ -164,16 +212,27 @@ class Transport:
         if not self.topo.has_node(dst):
             raise KeyError(f"no such node: {dst}")
         self.sent_messages += 1
-        hops = self.router.distance(src, dst)
-        if hops < 0 or not self.is_up(dst):
-            # Unreachable/dead destination: the packets still traverse the
-            # network until dropped; charge the attempted cost.
-            self._charge(kind, self.cost_model.fixed_unicast_cost
-                         if self.cost_model.unicast_mode is UnicastCostMode.FIXED
-                         else max(hops, 1))
+        if not self.is_up(dst):
+            # Dead destination: the packets still traverse the (full)
+            # overlay toward it until dropped; charge the attempted route
+            # through the cost model's mode switch.
+            hops = self.router.distance(src, dst)
+            self._charge(
+                kind, self.cost_model.dead_unicast_cost(self.router, src, dst, hops)
+            )
             self.dropped_messages += 1
             return False
-        self._charge(kind, self.cost_model.unicast_cost(self.router, src, dst))
+        router = self.live_router()
+        hops = router.distance(src, dst)
+        if hops < 0:
+            # Live but unreachable (partition / failed links): same
+            # dead-charge path, priced on the live overlay.
+            self._charge(
+                kind, self.cost_model.dead_unicast_cost(router, src, dst, hops)
+            )
+            self.dropped_messages += 1
+            return False
+        self._charge(kind, self.cost_model.unicast_cost(router, src, dst))
         self._deliver_later(src, dst, kind, payload, hops)
         return True
 
@@ -195,8 +254,10 @@ class Transport:
             return []
         self.sent_messages += 1
         if neighbors_only:
+            link_up = self.link_up
             receivers = tuple(
-                n for n in self.topo.neighbors(src) if self.is_up(n)
+                n for n in self.topo.neighbors(src)
+                if self.is_up(n) and (link_up is None or link_up(src, n))
             )
             depth: Optional[dict] = None  # every receiver is depth 1
             _, _, links = self._flood_structure(src)
@@ -215,7 +276,22 @@ class Transport:
         after = self.sim.after
         deliver = self._deliver
         latency = self.per_hop_latency
-        if latency == 0.0:
+        impair = self._impair
+        if impair is not None:
+            # Impaired fan-out: per-receiver loss/jitter/dup/reorder
+            # verdicts, drawn in deterministic (sorted-receiver) order.
+            plan = impair.plan
+            for dst in receivers:
+                hops = 1 if depth is None else depth[dst]
+                delays = plan(src, dst, hops)
+                if delays is None:
+                    self.dropped_messages += 1
+                    continue
+                base = latency * hops
+                for extra in delays:
+                    after(base + extra, deliver, src, dst, kind, payload, now,
+                          priority=Priority.MESSAGE)
+        elif latency == 0.0:
             for dst in receivers:
                 after(0.0, deliver, src, dst, kind, payload, now,
                       priority=Priority.MESSAGE)
@@ -268,15 +344,16 @@ class Transport:
         if not self.is_up(src):
             return []
         self.sent_messages += 1
+        router = self.live_router()
         receivers: List[NodeId] = []
         total = 0.0
         for dst in sorted(set(dests)):
-            if dst == src or not self.topo.has_node(dst):
+            if dst == src or not self.topo.has_node(dst) or not self.is_up(dst):
                 continue
-            hops = self.router.distance(src, dst)
-            if hops < 0 or not self.is_up(dst):
+            hops = router.distance(src, dst)
+            if hops < 0:
                 continue
-            total += self.cost_model.unicast_cost(self.router, src, dst)
+            total += self.cost_model.unicast_cost(router, src, dst)
             receivers.append(dst)
             self._deliver_later(src, dst, kind, payload, hops)
         self._charge(kind, cost if cost is not None else total)
@@ -285,7 +362,29 @@ class Transport:
     # Internals ------------------------------------------------------------
 
     def _live_subgraph(self) -> Topology:
-        return self.topo.subgraph([n for n in self.topo.nodes() if self.is_up(n)])
+        """UP nodes minus failed links — FaultManager.live_topology semantics."""
+        live = self.topo.subgraph([n for n in self.topo.nodes() if self.is_up(n)])
+        if self.link_up is not None:
+            for u, v in live.links():
+                if not self.link_up(u, v):
+                    live.remove_link(u, v)
+        return live
+
+    def live_router(self) -> Router:
+        """Routing oracle over the live overlay.
+
+        Falls back to the full-topology router when no fault predicates
+        are installed (the two are identical then); otherwise cached on
+        ``(topology version, liveness version)`` like the flood
+        structure.
+        """
+        if not self._fault_aware:
+            return self.router
+        key = (self.topo.version, self.liveness_version())
+        if self._live_router is None or self._live_router_key != key:
+            self._live_router = Router(self._live_subgraph())
+            self._live_router_key = key
+        return self._live_router
 
     def _charge(self, kind: str, cost: float) -> None:
         if self.on_cost is not None:
@@ -295,6 +394,17 @@ class Transport:
         self, src: NodeId, dst: NodeId, kind: str, payload: Any, hops: int
     ) -> None:
         delay = self.per_hop_latency * max(hops, 0)
+        if self._impair is not None:
+            delays = self._impair.plan(src, dst, hops)
+            if delays is None:
+                self.dropped_messages += 1
+                return  # lost in transit (cost already charged at send)
+            for extra in delays:
+                self.sim.after(
+                    delay + extra, self._deliver, src, dst, kind, payload,
+                    self.sim.now, priority=Priority.MESSAGE,
+                )
+            return
         self.sim.after(
             delay, self._deliver, src, dst, kind, payload, self.sim.now,
             priority=Priority.MESSAGE,

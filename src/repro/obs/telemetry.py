@@ -30,6 +30,8 @@ class ProtocolRollup:
     message_rate_sum: float = 0.0   # weighted messages per simulated second
     loss_rate_sum: float = 0.0      # (rejected + lost) / generated
     admitted_sum: float = 0.0       # admission probability
+    drops_sum: float = 0.0          # messages dropped (impairments/dead dst)
+    retries_sum: float = 0.0        # recovery actions: HELP retries + fallbacks
 
     def add(self, result: RunResult) -> None:
         self.runs += 1
@@ -38,6 +40,11 @@ class ProtocolRollup:
         if result.generated:
             self.loss_rate_sum += (result.rejected + result.lost) / result.generated
         self.admitted_sum += result.admission_probability
+        extra = result.extra
+        self.drops_sum += extra.get("dropped_messages", 0.0)
+        self.retries_sum += extra.get("help_retries", 0.0) + extra.get(
+            "migration_fallbacks", 0.0
+        )
 
     @property
     def message_rate(self) -> float:
@@ -50,6 +57,16 @@ class ProtocolRollup:
     @property
     def admission(self) -> float:
         return self.admitted_sum / self.runs if self.runs else 0.0
+
+    @property
+    def drops(self) -> float:
+        """Mean dropped messages per run (0 on a clean network)."""
+        return self.drops_sum / self.runs if self.runs else 0.0
+
+    @property
+    def retries(self) -> float:
+        """Mean protocol recovery actions per run."""
+        return self.retries_sum / self.runs if self.runs else 0.0
 
 
 class ProgressReporter:
@@ -118,12 +135,18 @@ class ProgressReporter:
         )
         rate = getattr(cfg, "arrival_rate", result.params.get("lambda", "?"))
         rollup = self.rollups[protocol]
+        # drop/retry columns only appear once the network misbehaves, so
+        # clean-sweep output stays exactly as before
+        impaired = ""
+        if rollup.drops_sum > 0 or rollup.retries_sum > 0:
+            impaired = f"drops={rollup.drops:.1f} retries={rollup.retries:.1f} "
         return (
             f"[obs] {self.completed}/{self.total} "
             f"{protocol} lambda={rate} "
             f"adm={result.admission_probability:.3f} "
             f"msg/s={rollup.message_rate:.1f} "
             f"loss={rollup.loss_rate:.3f} "
+            f"{impaired}"
             f"elapsed={elapsed:.1f}s eta={eta:.1f}s"
         )
 

@@ -52,6 +52,8 @@ class AdaptivePullAgent(DiscoveryAgent):
             response_timeout=cfg.response_timeout,
             adaptive=not fixed_window,
             min_interval=cfg.min_help_interval,
+            max_retries=cfg.help_retry_budget,
+            retry_backoff=cfg.help_retry_backoff,
             owner=self.node_id,
         )
         self.pledge_policy = PledgePolicy(self.host, cfg.threshold)

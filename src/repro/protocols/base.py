@@ -60,6 +60,13 @@ class ProtocolConfig:
     upper_limit: float = 100.0
     #: Algorithm H: response window after a HELP before the penalty applies
     response_timeout: float = 1.0
+    #: Algorithm H hardening: re-floods of an unanswered HELP before the
+    #: round is conceded (0 = paper behaviour, no retries).  Only useful
+    #: with lossy-network impairments; the penalty still applies once per
+    #: round.
+    help_retry_budget: int = 0
+    #: Algorithm H hardening: multiplier on the response window per retry
+    help_retry_backoff: float = 2.0
     #: member-side community expiry when no refresh arrives (soft state)
     membership_ttl: float = 200.0
     #: optional hard expiry on view entries (None = paper behaviour)
@@ -91,6 +98,8 @@ class ProtocolConfig:
             raise ValueError("alpha must be >=0, beta in [0,1)")
         if self.upper_limit < self.initial_help_interval:
             raise ValueError("upper_limit below initial interval")
+        if self.help_retry_budget < 0 or self.help_retry_backoff < 1.0:
+            raise ValueError("need help_retry_budget >= 0 and help_retry_backoff >= 1")
         if self.scope not in ("neighbors", "network"):
             raise ValueError(f"scope must be 'neighbors' or 'network': {self.scope!r}")
 

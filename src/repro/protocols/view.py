@@ -49,6 +49,7 @@ class ResourceView:
         self.ttl = ttl
         self._entries: Dict[int, ViewEntry] = {}
         self.updates = 0
+        self.evictions = 0
 
     # Updates ---------------------------------------------------------------
 
@@ -71,6 +72,24 @@ class ResourceView:
 
     def forget(self, node: int) -> None:
         self._entries.pop(node, None)
+
+    def evict_stale(self, now: float) -> int:
+        """Drop entries older than ``ttl`` (soft-state expiry).
+
+        ``fresh_entries`` already *filters* stale beliefs out of candidate
+        ranking; eviction additionally removes them from the store, so
+        ``known_nodes``/``view_size`` reflect only live soft state and a
+        node silenced by an attack eventually vanishes from every view
+        rather than lingering as a permanently-stale ghost.  No-op when
+        ``ttl`` is ``None`` (paper behaviour).  Returns the count evicted.
+        """
+        if self.ttl is None:
+            return 0
+        stale = [n for n, e in self._entries.items() if e.staleness(now) > self.ttl]
+        for node in stale:
+            del self._entries[node]
+        self.evictions += len(stale)
+        return len(stale)
 
     def clear(self) -> None:
         self._entries.clear()
@@ -111,6 +130,7 @@ class ResourceView:
         """
         banned = set(exclude)
         banned.add(self.owner)
+        self.evict_stale(now)
         pool = [
             e
             for e in self.fresh_entries(now)

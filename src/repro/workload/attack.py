@@ -37,14 +37,25 @@ class AttackPlan:
     transitions: Tuple[Tuple[float, str, int], ...]  # action: compromise|recover|crash
 
     def install(self, faults: FaultManager) -> None:
-        """Schedule every transition on the fault manager's kernel."""
+        """Schedule every transition on the fault manager's kernel.
+
+        Down transitions open refcounted windows
+        (:meth:`~repro.network.faults.FaultManager.hold_down`) and each
+        ``recover`` releases one, so composing overlapping plans works: a
+        node compromised by two windows stays down until *both* have
+        ended, instead of the earlier window's recovery reviving it
+        mid-attack.  Single-plan schedules behave exactly as before
+        (every window holds and releases its own count of one).
+        """
+        from ..network.faults import NodeState
+
         for time, action, node in self.transitions:
             if action == "compromise":
-                faults.schedule_compromise(time, node)
-            elif action == "recover":
-                faults.schedule_recover(time, node)
+                faults.sim.at(time, faults.hold_down, node, NodeState.COMPROMISED)
             elif action == "crash":
-                faults.schedule_crash(time, node)
+                faults.sim.at(time, faults.hold_down, node, NodeState.CRASHED)
+            elif action == "recover":
+                faults.sim.at(time, faults.release_down, node)
             else:
                 raise ValueError(f"unknown action: {action}")
 

@@ -183,3 +183,65 @@ class TestValidation:
         with pytest.raises(ValueError):
             HelpScheduler(sim, lambda: None, initial_interval=1.0, alpha=1.0,
                           beta=0.5, upper_limit=10.0, response_timeout=0.0)
+
+
+class TestRetries:
+    def test_no_retries_by_default(self):
+        sim, sched, sent = build()
+        sched.maybe_send()
+        sim.run(until=5.0)
+        assert sent == [0.0]  # one transmission, round conceded at 1.0
+        assert sched.retries == 0
+        assert sched.timeouts == 1
+
+    def test_retry_refloods_with_backoff(self):
+        sim, sched, sent = build(max_retries=2, retry_backoff=2.0)
+        sched.maybe_send()
+        sim.run(until=20.0)
+        # windows: 1s, then 2s, then 4s -> transmissions at 0, 1, 3
+        assert sent == [0.0, 1.0, 3.0]
+        assert sched.retries == 2
+        assert sched.helps_sent == 3
+
+    def test_penalty_once_per_round(self):
+        sim, sched, sent = build(max_retries=2)
+        sched.maybe_send()
+        sim.run(until=20.0)
+        # retries exhaust, then ONE penalty settles the round
+        assert sched.timeouts == 1
+        assert sched.penalties == 1
+        assert sched.interval == pytest.approx(1.5)
+
+    def test_pledge_cancels_pending_retries(self):
+        sim, sched, sent = build(max_retries=3)
+        sched.maybe_send()
+        sim.at(0.5, sched.on_pledge, True)
+        sim.run(until=20.0)
+        assert sent == [0.0]  # answered inside the first window
+        assert sched.retries == 0
+        assert sched.rewards == 1
+
+    def test_pledge_mid_retry_still_rewards(self):
+        sim, sched, sent = build(max_retries=3, retry_backoff=2.0)
+        sched.maybe_send()
+        sim.at(1.5, sched.on_pledge, True)  # inside the first retry window
+        sim.run(until=20.0)
+        assert sent == [0.0, 1.0]
+        assert sched.retries == 1
+        assert sched.rewards == 1
+        assert sched.penalties == 0
+
+    def test_retry_budget_resets_per_round(self):
+        sim, sched, sent = build(max_retries=1, retry_backoff=2.0)
+        sched.maybe_send()          # round 1: send at 0, retry at 1, concede at 3
+        sim.at(10.0, sched.maybe_send)  # round 2 gets a fresh budget
+        sim.run(until=30.0)
+        assert sent == [0.0, 1.0, 10.0, 11.0]
+        assert sched.retries == 2
+        assert sched.timeouts == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build(max_retries=-1)
+        with pytest.raises(ValueError):
+            build(retry_backoff=0.5)

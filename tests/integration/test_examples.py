@@ -27,6 +27,7 @@ class TestExamples:
             "agile_cluster.py",
             "dynamic_overlay.py",
             "observe_run.py",
+            "chaos_run.py",
         } <= names
 
     @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)

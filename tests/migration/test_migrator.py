@@ -162,3 +162,73 @@ class TestValidation:
             MigrationCoordinator(
                 s.sim, s.hosts, {}, s.admissions, s.metrics
             )
+
+
+class TestSilentFallback:
+    """A silent candidate (dead / timing out) vs an explicit refusal."""
+
+    def _lying_view(self, s):
+        # agent 0 believes node 1 (best) and node 3 (runner-up) are free
+        agent = s.agents[0]
+        agent.view.clear()
+        agent.view.update(1, 10.0, 0.0, True, s.sim.now)
+        agent.view.update(3, 5.0, 0.5, True, s.sim.now)
+        return agent
+
+    def test_unreachable_candidate_falls_back(self):
+        s = small_system(migration_retry_budget=1)
+        place(s, 9.0, 0)
+        self._lying_view(s)
+        s.faults.crash(1)  # best candidate is a corpse
+        t = place(s, 5.0, 0)
+        s.sim.run(until=1.0)
+        assert t.outcome is TaskOutcome.MIGRATED
+        assert t.admitted_at == 3  # next-ranked candidate took it
+        assert s.coordinator.silent_fallbacks == 1
+
+    def test_timed_out_candidate_falls_back(self):
+        s = small_system(migration_retry_budget=1)
+        place(s, 9.0, 0)
+        self._lying_view(s)
+        s.transport.unregister(1)  # alive but never answers
+        t = place(s, 5.0, 0)
+        s.sim.run(until=10.0)  # past the 5s negotiation timeout
+        assert t.outcome is TaskOutcome.MIGRATED
+        # the view keeps refreshing during the wait, so the fallback is
+        # whichever untried node ranks best by then — never the silent one
+        assert t.admitted_at in (2, 3)
+        assert s.admissions[0].timeouts_fired == 1
+        assert s.coordinator.silent_fallbacks == 1
+
+    def test_refusal_does_not_fall_back(self):
+        s = small_system(migration_retry_budget=5)
+        for n in range(4):
+            place(s, 9.0, n)  # node 1 will explicitly refuse
+        self._lying_view(s)
+        t = place(s, 5.0, 0)
+        s.sim.run(until=10.0)
+        assert t.status is TaskStatus.REJECTED
+        assert s.coordinator.silent_fallbacks == 0  # budget untouched
+
+    def test_zero_budget_is_paper_faithful(self):
+        s = small_system()  # default: no retry budget
+        place(s, 9.0, 0)
+        self._lying_view(s)
+        s.faults.crash(1)
+        t = place(s, 5.0, 0)
+        s.sim.run(until=10.0)
+        assert t.status is TaskStatus.REJECTED  # one-shot, one corpse, done
+        assert s.coordinator.silent_fallbacks == 0
+
+    def test_budget_bounds_the_chain(self):
+        s = small_system(migration_retry_budget=1)
+        place(s, 9.0, 0)
+        agent = s.agents[0]
+        agent.view.clear()
+        for n in (1, 2, 3):
+            agent.view.update(n, 10.0 - n, 0.0, True, s.sim.now)
+            s.faults.crash(n)  # every candidate silent
+        t = place(s, 5.0, 0)
+        s.sim.run(until=20.0)
+        assert t.status is TaskStatus.REJECTED
+        assert s.coordinator.silent_fallbacks == 1  # only one extra try

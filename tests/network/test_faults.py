@@ -122,3 +122,55 @@ class TestDowntime:
         sim.at(0.0, faults.crash, 0)
         sim.run(until=10.0)
         assert faults.downtime_fraction(10.0) == pytest.approx(0.5)
+
+
+class TestDownWindows:
+    def test_hold_and_release(self, fm):
+        _, faults = fm
+        faults.hold_down(3)
+        assert faults.is_compromised(3)
+        assert faults.holds(3) == 1
+        faults.release_down(3)
+        assert faults.is_up(3)
+        assert faults.holds(3) == 0
+
+    def test_overlapping_holds_keep_node_down(self, fm):
+        _, faults = fm
+        faults.hold_down(3)
+        faults.hold_down(3, NodeState.CRASHED)
+        assert faults.holds(3) == 2
+        faults.release_down(3)  # first window ends...
+        assert not faults.is_up(3)  # ...but the second still holds
+        faults.release_down(3)
+        assert faults.is_up(3)
+
+    def test_hold_rejects_up_state(self, fm):
+        _, faults = fm
+        with pytest.raises(ValueError):
+            faults.hold_down(0, NodeState.UP)
+
+    def test_manual_recover_clears_holds(self, fm):
+        _, faults = fm
+        faults.hold_down(3)
+        faults.hold_down(3)
+        faults.recover(3)  # operator override wins
+        assert faults.is_up(3)
+        assert faults.holds(3) == 0
+
+    def test_schedule_window(self, fm):
+        sim, faults = fm
+        faults.schedule_window(1.0, 3.0, 4)
+        sim.run(until=2.0)
+        assert faults.is_compromised(4)
+        sim.run(until=5.0)
+        assert faults.is_up(4)
+
+    def test_overlapping_scheduled_windows(self, fm):
+        # [1, 4) and [2, 6): node must stay down through t=4
+        sim, faults = fm
+        faults.schedule_window(1.0, 4.0, 4)
+        faults.schedule_window(2.0, 6.0, 4)
+        sim.run(until=5.0)
+        assert not faults.is_up(4)
+        sim.run(until=7.0)
+        assert faults.is_up(4)

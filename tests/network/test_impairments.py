@@ -1,0 +1,169 @@
+"""Unit tests for the impairment engine and its transport composition."""
+
+import numpy as np
+import pytest
+
+from repro.network.faults import FaultManager
+from repro.network.generators import mesh, paper_topology
+from repro.network.impairments import ImpairmentConfig, NetworkImpairments
+from repro.network.transport import Transport
+from repro.sim.kernel import Simulator
+
+
+def engine(seed=1, **kwargs):
+    return NetworkImpairments(ImpairmentConfig(**kwargs), np.random.default_rng(seed))
+
+
+class TestImpairmentConfig:
+    def test_default_is_disabled(self):
+        assert not ImpairmentConfig().enabled
+
+    def test_any_knob_enables(self):
+        assert ImpairmentConfig(loss_rate=0.1).enabled
+        assert ImpairmentConfig(jitter=0.01).enabled
+        assert ImpairmentConfig(duplicate_rate=0.1).enabled
+        assert ImpairmentConfig(reorder_rate=0.1).enabled
+        assert ImpairmentConfig(link_loss=(((0, 1), 0.5),)).enabled
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            ImpairmentConfig(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            ImpairmentConfig(duplicate_rate=-0.1)
+        with pytest.raises(ValueError):
+            ImpairmentConfig(jitter=-1.0)
+        with pytest.raises(ValueError):
+            ImpairmentConfig(link_loss=(((0, 1), 1.5),))
+
+    def test_with_copies(self):
+        cfg = ImpairmentConfig(loss_rate=0.1)
+        assert cfg.with_(loss_rate=0.2).loss_rate == 0.2
+        assert cfg.loss_rate == 0.1
+
+
+class TestLossModel:
+    def test_loss_compounds_per_link(self):
+        eng = engine(loss_rate=0.1)
+        assert eng.loss_probability(0, 1, 1) == pytest.approx(0.1)
+        assert eng.loss_probability(0, 9, 3) == pytest.approx(1 - 0.9**3)
+
+    def test_link_loss_override_applies_to_direct_hops(self):
+        eng = engine(loss_rate=0.0, link_loss=(((0, 1), 1.0),))
+        assert eng.loss_probability(0, 1, 1) == 1.0
+        assert eng.loss_probability(1, 0, 1) == 1.0  # normalised both ways
+        assert eng.loss_probability(0, 2, 1) == 0.0
+
+    def test_certain_link_loss_always_drops(self):
+        eng = engine(link_loss=(((0, 1), 1.0),))
+        for _ in range(20):
+            assert eng.plan(0, 1, 1) is None
+        assert eng.dropped == 20
+        assert eng.drop_rate == 1.0
+
+    def test_observed_drop_rate_tracks_configured(self):
+        eng = engine(seed=3, loss_rate=0.2)
+        drops = sum(1 for _ in range(5000) if eng.plan(0, 1, 1) is None)
+        assert drops / 5000 == pytest.approx(0.2, abs=0.02)
+
+    def test_same_seed_same_verdicts(self):
+        a = engine(seed=7, loss_rate=0.3, jitter=0.01, duplicate_rate=0.1)
+        b = engine(seed=7, loss_rate=0.3, jitter=0.01, duplicate_rate=0.1)
+        for _ in range(500):
+            assert a.plan(0, 1, 2) == b.plan(0, 1, 2)
+        assert a.counters() == b.counters()
+
+
+class TestPlanShape:
+    def test_clean_delivery_single_zero_delay(self):
+        eng = engine()
+        assert eng.plan(0, 1, 1) == [0.0]
+        assert eng.counters() == {
+            "deliveries": 1, "dropped": 0, "duplicated": 0, "reordered": 0,
+        }
+
+    def test_duplicates_arrive_after_primary(self):
+        eng = engine(seed=5, duplicate_rate=0.5)
+        saw_dup = False
+        for _ in range(200):
+            delays = eng.plan(0, 1, 1)
+            if len(delays) == 2:
+                saw_dup = True
+                assert delays[1] > delays[0]
+        assert saw_dup and eng.duplicated > 0
+
+    def test_jitter_bounded_by_hops(self):
+        eng = engine(seed=2, jitter=0.01)
+        for hops in (1, 4):
+            for _ in range(100):
+                (delay,) = eng.plan(0, 1, hops)
+                assert 0.0 <= delay <= 0.01 * hops
+
+    def test_reorder_defers_delivery(self):
+        eng = engine(seed=2, reorder_rate=0.5, reorder_delay=0.2)
+        delays = [eng.plan(0, 1, 1)[0] for _ in range(100)]
+        assert set(delays) == {0.0, 0.2}
+        assert eng.reordered == sum(1 for d in delays if d == 0.2)
+
+
+class TestTransportComposition:
+    def test_disabled_engine_not_installed(self):
+        sim = Simulator()
+        eng = NetworkImpairments(ImpairmentConfig(), np.random.default_rng(1))
+        tr = Transport(sim, mesh(1, 4), impairments=eng)
+        assert tr.impairments is eng
+        assert tr._impair is None  # hot path stays impairment-free
+
+    def test_unicast_loss_drops_but_charges(self):
+        sim = Simulator()
+        costs = []
+        tr = Transport(
+            sim, mesh(1, 4),
+            impairments=engine(link_loss=(((0, 1), 1.0),)),
+            on_cost=lambda k, c: costs.append(c),
+        )
+        seen = []
+        tr.register(1, "x", seen.append)
+        assert tr.unicast(0, 1, "x", None)  # dispatched...
+        sim.run()
+        assert seen == []                   # ...but lost in transit
+        assert len(costs) == 1              # sender still paid
+        assert tr.dropped_messages == 1
+
+    def test_flood_loss_thins_receivers(self):
+        sim = Simulator()
+        topo = paper_topology()
+        tr = Transport(sim, topo, impairments=engine(seed=11, loss_rate=0.5))
+        received = []
+        for n in topo.nodes():
+            tr.register(n, "adv", lambda d, n=n: received.append(n))
+        out = tr.flood(12, "adv", None)
+        sim.run()
+        assert len(out) == 24  # fan-out planned to everyone
+        assert 0 < len(received) < 24  # but the lossy network thinned it
+        assert tr.impairments.dropped == 24 - len(received)
+
+    def test_duplicates_deliver_twice(self):
+        sim = Simulator()
+        tr = Transport(sim, mesh(1, 2), impairments=engine(duplicate_rate=0.99))
+        seen = []
+        tr.register(1, "x", seen.append)
+        tr.unicast(0, 1, "x", "payload")
+        sim.run()
+        assert len(seen) == 2
+
+    def test_composes_with_fault_model(self):
+        # impairments on top of a failed link: the link predicate decides
+        # reachability first, the impairment engine only sees live routes
+        sim = Simulator()
+        topo = mesh(1, 4)
+        faults = FaultManager(sim, topo)
+        tr = Transport(
+            sim, topo,
+            is_up=faults.can_communicate,
+            link_up=faults.link_up,
+            liveness_version=lambda: faults.version,
+            impairments=engine(jitter=0.001),
+        )
+        faults.fail_link(1, 2)
+        assert tr.flood(0, "adv", None) == [1]
+        assert not tr.unicast(0, 3, "x", None)

@@ -155,6 +155,114 @@ class TestFlood:
         assert tr.flood(0, "adv", None) == []
 
 
+def make_faulty(topo=None):
+    """Transport wired to a FaultManager the way the runner does it."""
+    sim = Simulator()
+    topo = topo or mesh(1, 4)  # line: 0-1-2-3
+    faults = FaultManager(sim, topo)
+    costs = []
+    tr = Transport(
+        sim,
+        topo,
+        is_up=faults.can_communicate,
+        link_up=faults.link_up,
+        liveness_version=lambda: faults.version,
+        on_cost=lambda k, c: costs.append((k, c)),
+    )
+    return sim, topo, faults, tr, costs
+
+
+class TestFailedLinks:
+    def test_fail_link_partitions_flood(self):
+        sim, topo, faults, tr, _ = make_faulty()
+        received = []
+        for n in topo.nodes():
+            tr.register(n, "adv", lambda d, n=n: received.append(n))
+        faults.fail_link(1, 2)  # severs the 0-1 | 2-3 bridge
+        out = tr.flood(0, "adv", None)
+        sim.run()
+        assert out == [1]
+        assert received == [1]
+
+    def test_fail_link_respected_by_neighbors_only(self):
+        sim, topo, faults, tr, _ = make_faulty()
+        received = []
+        for n in topo.nodes():
+            tr.register(n, "help", lambda d, n=n: received.append(n))
+        faults.fail_link(0, 1)
+        out = tr.flood(1, "help", None, neighbors_only=True)
+        sim.run()
+        assert out == [2]  # node 0 unreachable over the dead link
+        assert received == [2]
+
+    def test_restore_link_heals_flood(self):
+        sim, topo, faults, tr, _ = make_faulty()
+        faults.fail_link(1, 2)
+        assert tr.flood(0, "adv", None) == [1]
+        faults.restore_link(1, 2)
+        assert tr.flood(0, "adv", None) == [1, 2, 3]
+
+    def test_unicast_routes_around_failed_link(self):
+        sim, topo, faults, tr, costs = make_faulty(mesh(2, 2))  # 4-cycle
+        tr.register(1, "x", lambda d: None)
+        faults.fail_link(0, 1)
+        assert tr.unicast(0, 1, "x", None)
+        sim.run()
+        # direct hop is down; the live route is 0-2-3-1
+        assert costs == [("x", 3.0)]
+
+    def test_unicast_blocked_by_failed_bridge(self):
+        sim, topo, faults, tr, costs = make_faulty()
+        tr.register(3, "x", lambda d: None)
+        faults.fail_link(1, 2)
+        assert not tr.unicast(0, 3, "x", None)
+        assert tr.dropped_messages == 1
+        # attempted route still charged, floored at one hop
+        assert len(costs) == 1 and costs[0][1] >= 1.0
+
+
+class TestDeadDestinationCost:
+    def test_hops_mode_charges_attempted_route(self):
+        sim, topo, faults, tr, costs = make_faulty()
+        faults.crash(3)
+        assert not tr.unicast(0, 3, "x", None)
+        assert costs == [("x", 3.0)]  # full-route hop count toward the corpse
+
+    def test_mean_mode_charges_mean(self):
+        sim = Simulator()
+        topo = paper_topology()
+        faults = FaultManager(sim, topo)
+        costs = []
+        tr = Transport(
+            sim, topo,
+            is_up=faults.can_communicate,
+            liveness_version=lambda: faults.version,
+            cost_model=CostModel(unicast_mode=UnicastCostMode.MEAN),
+            on_cost=lambda k, c: costs.append(c),
+        )
+        faults.crash(24)
+        assert not tr.unicast(0, 24, "x", None)
+        assert costs == [pytest.approx(10.0 / 3.0)]  # not a flat 1
+
+    def test_fixed_mode_charges_fixed(self):
+        sim = Simulator()
+        topo = paper_topology()
+        faults = FaultManager(sim, topo)
+        costs = []
+        tr = Transport(
+            sim, topo,
+            is_up=faults.can_communicate,
+            liveness_version=lambda: faults.version,
+            cost_model=CostModel(
+                unicast_mode=UnicastCostMode.FIXED, fixed_unicast_cost=4.0
+            ),
+            on_cost=lambda k, c: costs.append(c),
+        )
+        faults.crash(5)
+        assert not tr.unicast(0, 5, "x", None)
+        assert costs == [4.0]
+
+
 class TestMulticast:
     def test_explicit_receivers(self):
         sim, _, tr, _ = make()

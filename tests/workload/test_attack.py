@@ -135,3 +135,44 @@ class TestAttackPlan:
         plan = AttackPlan(((1.0, "explode", 0),))
         with pytest.raises(ValueError):
             plan.install(faults)
+
+
+class TestOverlappingPlans:
+    def test_composed_plans_do_not_fight(self):
+        # Two region-style windows over the same victim: [10, 30) and
+        # [20, 50).  Without refcounted windows the first plan's recovery
+        # at t=30 would revive the node mid-way through the second attack.
+        sim = Simulator()
+        faults = FaultManager(sim, paper_topology())
+        a = AttackPlan(((10.0, "compromise", 7), (30.0, "recover", 7)))
+        b = AttackPlan(((20.0, "crash", 7), (50.0, "recover", 7)))
+        a.install(faults)
+        b.install(faults)
+        sim.run(until=35.0)
+        assert not faults.is_up(7)  # still held by plan b
+        sim.run(until=55.0)
+        assert faults.is_up(7)
+
+    def test_single_plan_unchanged(self):
+        sim = Simulator()
+        faults = FaultManager(sim, paper_topology())
+        AttackPlan(((5.0, "compromise", 2), (9.0, "recover", 2))).install(faults)
+        sim.run(until=7.0)
+        assert faults.state(2) is NodeState.COMPROMISED
+        sim.run(until=10.0)
+        assert faults.is_up(2)
+        # exactly one down + one up transition, like the pre-refcount path
+        assert [e.state for e in faults.history if e.node == 2] == [
+            NodeState.COMPROMISED,
+            NodeState.UP,
+        ]
+
+    def test_crash_plans_compose_too(self):
+        sim = Simulator()
+        faults = FaultManager(sim, paper_topology())
+        AttackPlan(((1.0, "crash", 0), (4.0, "recover", 0))).install(faults)
+        AttackPlan(((2.0, "crash", 0), (6.0, "recover", 0))).install(faults)
+        sim.run(until=5.0)
+        assert faults.state(0) is NodeState.CRASHED
+        sim.run(until=7.0)
+        assert faults.is_up(0)
