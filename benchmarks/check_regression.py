@@ -1,6 +1,6 @@
 """CI regression gates for the engine fast paths.
 
-Three gates, all against the committed ``BENCH_engine.json``:
+Four gates, the first three against the committed ``BENCH_engine.json``:
 
 * **queue gate** — re-measures the ``queue_admission_throughput``
   micro-benchmark at full size (it is fast enough for CI
@@ -23,6 +23,14 @@ Three gates, all against the committed ``BENCH_engine.json``:
   carries the ``impair is not None`` branch) the same
   machine-speed-normalised way, so the impairment layer's disabled path
   stays within the ``--transport-tolerance`` budget (default 5%).
+
+* **store overhead gate** — times the same tiny sweep twice in this
+  process, once plain and once writing every cell into a fresh
+  ``RunStore`` (all misses: digest + serialise + append, the worst
+  case), and fails when the store-enabled pass is more than
+  ``--store-tolerance`` (default 5%) slower.  Both passes run on the
+  same machine in the same process, so the ratio is machine-speed
+  normalised by construction and needs no committed baseline.
 
 Usage::
 
@@ -63,6 +71,7 @@ def check(
     output: Optional[Path] = None,
     overhead_tolerance: float = 0.05,
     transport_tolerance: float = 0.05,
+    store_tolerance: float = 0.05,
 ) -> int:
     committed = json.loads(committed_path.read_text())
     if committed.get("mode") != "full":
@@ -102,6 +111,12 @@ def check(
     if transport is not None:
         ok = ok and transport["passed"]
 
+    store = check_store_overhead(
+        tolerance=store_tolerance,
+        repeats=repeats,
+    )
+    ok = ok and store["passed"]
+
     if output is not None:
         report = {
             "benchmark": GATED,
@@ -116,6 +131,7 @@ def check(
             report["overhead_gate"] = overhead
         if transport is not None:
             report["transport_gate"] = transport
+        report["store_gate"] = store
         output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"wrote {output}")
     return 0 if ok else 1
@@ -211,6 +227,68 @@ def check_transport_overhead(
     }
 
 
+def check_store_overhead(
+    *,
+    tolerance: float = 0.05,
+    repeats: int = 5,
+) -> dict:
+    """Gate the run store's per-cell cost against a store-less sweep.
+
+    Times the identical tiny sweep with and without a ``RunStore``
+    attached — fresh store directory per repeat, so every cell pays the
+    full miss path (digest, canonical-JSON serialise, shard append,
+    index flush).  Comparing the two best-of-``repeats`` times from the
+    same process factors machine speed out entirely; the ratio only
+    moves when the store hook itself gets more expensive.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.store import RunStore
+    from repro.experiments.sweep import run_sweep
+
+    protocols = ["realtor", "push-1"]
+    rates = [2.0, 6.0]
+    base = ExperimentConfig(horizon=150.0)
+
+    run_sweep(protocols, rates, base)  # untimed warm-up: imports, allocator
+
+    def stored() -> None:
+        root = tempfile.mkdtemp(prefix="store-gate-")
+        try:
+            run_sweep(protocols, rates, base, store=RunStore(root))
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    # Interleave the two variants so a noisy-neighbour slowdown lands on
+    # both sides of the ratio instead of biasing whichever ran second.
+    plain = with_store = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_sweep(protocols, rates, base)
+        plain = min(plain, time.perf_counter() - start)
+        start = time.perf_counter()
+        stored()
+        with_store = min(with_store, time.perf_counter() - start)
+    ratio = with_store / plain
+    ok = ratio <= 1.0 + tolerance
+    print(
+        f"store_overhead: plain {plain:.4f}s, store-enabled {with_store:.4f}s, "
+        f"ratio {ratio:.3f} (ceiling {1.0 + tolerance:.3f}) -> "
+        f"{'OK' if ok else 'REGRESSION'}"
+    )
+    return {
+        "benchmark": "store_overhead",
+        "plain_min_seconds": round(plain, 6),
+        "store_min_seconds": round(with_store, 6),
+        "ratio": round(ratio, 4),
+        "tolerance": tolerance,
+        "passed": ok,
+    }
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -232,6 +310,12 @@ def main(argv: Optional[list] = None) -> int:
              "fan-out after machine-speed normalisation (default 5%%)",
     )
     parser.add_argument(
+        "--store-tolerance", type=float, default=0.05,
+        help="allowed fractional slowdown of a store-enabled sweep over "
+             "the identical store-less sweep, same-process ratio "
+             "(default 5%%)",
+    )
+    parser.add_argument(
         "--repeats", type=int, default=5,
         help="timed repetitions (min is compared; the 5%% overhead gate "
              "needs min-of-several to sit below scheduler noise)",
@@ -248,6 +332,7 @@ def main(argv: Optional[list] = None) -> int:
         args.output,
         overhead_tolerance=args.overhead_tolerance,
         transport_tolerance=args.transport_tolerance,
+        store_tolerance=args.store_tolerance,
     )
 
 

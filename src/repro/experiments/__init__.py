@@ -1,7 +1,8 @@
-"""Experiment harness: configs, runner, sweeps, figures, ablations."""
+"""Experiment harness: configs, runner, plans, store, sweeps, figures."""
 
 from .config import PAPER_LAMBDAS, ExperimentConfig, paper_config
 from .confidence import confidence_sweep, confidence_table
+from .executor import CellExecutionError, execute_plan
 from .figures import (
     FigureResult,
     fig5_admission_probability,
@@ -10,7 +11,16 @@ from .figures import (
     fig8_migration_rate,
     fig9_testbed_admission,
 )
+from .plan import (
+    ExperimentPlan,
+    PlanCell,
+    confidence_plan,
+    grid_plan,
+    replication_plan,
+    sweep_plan,
+)
 from .runner import System, build_system, run_experiment
+from .store import RunStore, config_digest
 from .sweep import run_replications, run_sweep
 
 __all__ = [
@@ -19,6 +29,16 @@ __all__ = [
     "paper_config",
     "confidence_sweep",
     "confidence_table",
+    "CellExecutionError",
+    "execute_plan",
+    "ExperimentPlan",
+    "PlanCell",
+    "confidence_plan",
+    "grid_plan",
+    "replication_plan",
+    "sweep_plan",
+    "RunStore",
+    "config_digest",
     "FigureResult",
     "fig5_admission_probability",
     "fig6_message_overhead",

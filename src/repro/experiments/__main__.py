@@ -6,8 +6,14 @@ Usage::
     python -m repro.experiments fig6 fig7 fig8 fig9
     python -m repro.experiments all --horizon 2000
     python -m repro.experiments ablations
+    python -m repro.experiments all --store runs/       # resumable; re-run
+    python -m repro.experiments all --store runs/       # ...is 100% cache hits
+    python -m repro.experiments fig5 --store runs/ --force
 
 Prints the same rows the paper's figures plot, plus the shape checks.
+With ``--store DIR`` every completed run persists to a content-addressed
+store: an interrupted invocation resumes where it died, and repeat
+invocations render figures without re-simulating (docs/experiments.md).
 """
 
 from __future__ import annotations
@@ -58,12 +64,35 @@ def main(argv: List[str] = None) -> int:
                         help="fan runs out over a process pool")
     parser.add_argument("--save", metavar="PATH", default=None,
                         help="write the figure sweep results to a JSON file")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="content-addressed run store: completed cells are "
+                             "served from DIR and fresh cells persisted there, "
+                             "so interrupted sweeps resume and repeat "
+                             "invocations re-simulate nothing (see "
+                             "docs/experiments.md)")
+    parser.add_argument("--resume", action="store_true",
+                        help="explicit alias for the --store default: skip "
+                             "every cell already in the store (requires "
+                             "--store)")
+    parser.add_argument("--force", action="store_true",
+                        help="re-run every cell even on a store hit, "
+                             "refreshing the stored records (requires --store)")
     parser.add_argument("--chart", action="store_true",
                         help="draw each figure as an ASCII chart too")
     parser.add_argument("--observe", action="store_true",
                         help="stream live sweep telemetry (progress, ETA, "
                              "per-protocol message/loss rates) to stderr")
     args = parser.parse_args(argv)
+
+    store = None
+    if args.resume and args.force:
+        parser.error("--resume and --force are mutually exclusive")
+    if (args.resume or args.force) and not args.store:
+        parser.error("--resume/--force need --store DIR")
+    if args.store:
+        from .store import RunStore
+
+        store = RunStore(args.store)
 
     targets: List[str] = []
     for t in args.targets:
@@ -99,18 +128,22 @@ def main(argv: List[str] = None) -> int:
         shared_raw = run_sweep(
             PAPER_PROTOCOLS, list(DEFAULT_RATES), base,
             parallel=args.parallel, progress=progress,
+            store=store, force=args.force,
         )
         if progress is not None:
             print(progress.summary(), file=sys.stderr)
 
     for target in targets:
         if target in FIGURES:
-            result = FIGURES[target](
+            kwargs = dict(
                 horizon=args.horizon,
                 seed=args.seed,
                 parallel=args.parallel,
                 raw=shared_raw,
             )
+            if store is not None:
+                kwargs.update(store=store, force=args.force)
+            result = FIGURES[target](**kwargs)
             if shared_raw is None:
                 shared_raw = result.raw  # reuse for later figures / --save
             print(result.summary())
@@ -123,14 +156,18 @@ def main(argv: List[str] = None) -> int:
             print()
             failed |= not result.all_passed
         elif target == "fig9":
-            result = fg.fig9_testbed_admission(
-                horizon=min(args.horizon, 5_000.0), seed=args.seed
-            )
+            kwargs = dict(horizon=min(args.horizon, 5_000.0), seed=args.seed)
+            if store is not None:
+                kwargs.update(store=store, force=args.force)
+            result = fg.fig9_testbed_admission(**kwargs)
             print(result.summary())
             print()
             failed |= not result.all_passed
         elif target in ABLATIONS:
-            print(ABLATIONS[target]().summary())
+            if store is not None:
+                print(ABLATIONS[target](store=store).summary())
+            else:
+                print(ABLATIONS[target]().summary())
             print()
         else:
             print(f"unknown target: {target}", file=sys.stderr)
@@ -141,6 +178,14 @@ def main(argv: List[str] = None) -> int:
 
         path = save_sweep(shared_raw, args.save)
         print(f"sweep results written to {path}")
+    if store is not None:
+        stats = store.stats()
+        print(
+            f"[store] {args.store}: {stats['entries']} entries, "
+            f"{stats['hits']} hits / {stats['misses']} misses, "
+            f"{stats['writes']} written",
+            file=sys.stderr,
+        )
     return 1 if failed else 0
 
 

@@ -4,19 +4,30 @@ The paper leaves several design choices open ("the value of alpha and
 beta are subject to the local resource manager"; the membership scope;
 the one-shot migration policy; Section 7's inter-community future work).
 Each ablation isolates one choice, holding the paper workload fixed.
+
+Every study is a thin plan builder: it enumerates its axis as
+``(key, config[, chaos-spec])`` items, expands them with
+:func:`~repro.experiments.plan.grid_plan`, and executes through the
+shared :func:`~repro.experiments.executor.execute_plan` — so ablations
+inherit process-pool dispatch (``parallel=``) and content-addressed
+caching/resume (``store=``) without any driver-local machinery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..metrics.collector import RunResult
 from ..metrics.report import format_table
 from ..protocols.base import ProtocolConfig
-from ..workload.attack import SweepAttack
+from .chaos import ChaosSpec
 from .config import ExperimentConfig, paper_config
-from .runner import build_system, run_experiment
+from .executor import execute_plan
+from .plan import grid_plan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .store import RunStore
 
 __all__ = [
     "AblationResult",
@@ -51,6 +62,19 @@ class AblationResult:
         return f"=== {self.name} ===\n{self.table}"
 
 
+def _run_grid(
+    name: str,
+    items: Sequence[tuple],
+    *,
+    store: Optional["RunStore"] = None,
+    parallel: bool = False,
+) -> Dict[object, RunResult]:
+    """Execute ``(key, config[, spec])`` items; results keyed like items."""
+    plan = grid_plan(name, items)
+    results = execute_plan(plan, store=store, parallel=parallel)
+    return plan.reduce(results)  # type: ignore[return-value]
+
+
 def ablate_alpha_beta(
     pairs: Sequence[Tuple[float, float]] = ((0.5, 0.5), (1.0, 0.25), (1.5, 0.2), (2.0, 0.1)),
     *,
@@ -58,16 +82,24 @@ def ablate_alpha_beta(
     horizon: float = 2_000.0,
     seed: int = 1,
     protocol: str = "realtor",
+    store: Optional["RunStore"] = None,
+    parallel: bool = False,
 ) -> AblationResult:
     """A1: Algorithm H reward/penalty — overhead vs effectiveness trade."""
+    items = [
+        (
+            (alpha, beta),
+            paper_config(
+                protocol, arrival_rate, seed=seed, horizon=horizon,
+                protocol_config=ProtocolConfig(alpha=alpha, beta=beta),
+            ),
+        )
+        for alpha, beta in pairs
+    ]
+    raw = _run_grid("A1-alpha-beta", items, store=store, parallel=parallel)
     rows: List[List[object]] = []
-    raw: Dict[object, RunResult] = {}
     for alpha, beta in pairs:
-        pc = ProtocolConfig(alpha=alpha, beta=beta)
-        cfg = paper_config(protocol, arrival_rate, seed=seed, horizon=horizon,
-                           protocol_config=pc)
-        res = run_experiment(cfg)
-        raw[(alpha, beta)] = res
+        res = raw[(alpha, beta)]
         rows.append(
             [
                 alpha,
@@ -93,20 +125,26 @@ def ablate_threshold(
     horizon: float = 2_000.0,
     seed: int = 1,
     protocol: str = "realtor",
+    store: Optional["RunStore"] = None,
+    parallel: bool = False,
 ) -> AblationResult:
     """A2: availability threshold — earlier discovery vs pledge churn."""
-    rows: List[List[object]] = []
-    raw: Dict[object, RunResult] = {}
-    for thr in thresholds:
-        pc = ProtocolConfig(threshold=thr)
-        cfg = paper_config(protocol, arrival_rate, seed=seed, horizon=horizon,
-                           protocol_config=pc)
-        res = run_experiment(cfg)
-        raw[thr] = res
-        rows.append(
-            [thr, res.admission_probability, res.migration_rate,
-             res.messages_total, res.messages_per_admitted]
+    items = [
+        (
+            thr,
+            paper_config(
+                protocol, arrival_rate, seed=seed, horizon=horizon,
+                protocol_config=ProtocolConfig(threshold=thr),
+            ),
         )
+        for thr in thresholds
+    ]
+    raw = _run_grid("A2-threshold", items, store=store, parallel=parallel)
+    rows = [
+        [thr, raw[thr].admission_probability, raw[thr].migration_rate,
+         raw[thr].messages_total, raw[thr].messages_per_admitted]
+        for thr in thresholds
+    ]
     return AblationResult(
         f"A2 threshold (lambda={arrival_rate:g})",
         ["threshold", "P(admit)", "mig-rate", "messages", "msg/task"],
@@ -122,20 +160,25 @@ def ablate_retry_policy(
     horizon: float = 2_000.0,
     seed: int = 1,
     protocol: str = "realtor",
+    store: Optional["RunStore"] = None,
+    parallel: bool = False,
 ) -> AblationResult:
     """A5: one-shot vs k-try vs random-target migration."""
-    rows: List[List[object]] = []
-    raw: Dict[object, RunResult] = {}
-    for pol in policies:
-        cfg = paper_config(protocol, arrival_rate, seed=seed, horizon=horizon).with_(
-            policy=pol
+    items = [
+        (
+            pol,
+            paper_config(protocol, arrival_rate, seed=seed, horizon=horizon).with_(
+                policy=pol
+            ),
         )
-        res = run_experiment(cfg)
-        raw[pol] = res
-        rows.append(
-            [pol, res.admission_probability, res.migration_rate,
-             res.messages_total, res.messages_per_admitted]
-        )
+        for pol in policies
+    ]
+    raw = _run_grid("A5-retry-policy", items, store=store, parallel=parallel)
+    rows = [
+        [pol, raw[pol].admission_probability, raw[pol].migration_rate,
+         raw[pol].messages_total, raw[pol].messages_per_admitted]
+        for pol in policies
+    ]
     return AblationResult(
         f"A5 migration policy (lambda={arrival_rate:g})",
         ["policy", "P(admit)", "mig-rate", "messages", "msg/task"],
@@ -152,6 +195,8 @@ def ablate_scalability(
     horizon: float = 2_000.0,
     seed: int = 1,
     protocol: str = "realtor",
+    store: Optional["RunStore"] = None,
+    parallel: bool = False,
 ) -> AblationResult:
     """A3: per-node overhead vs system size at constant offered load.
 
@@ -160,23 +205,31 @@ def ablate_scalability(
     be flat as the mesh grows (floods cost #links, which grows, but their
     *frequency* per node is load-driven, and pledges stay local).
     """
-    rows: List[List[object]] = []
-    raw: Dict[object, RunResult] = {}
+    grid: List[Tuple[int, float]] = []
+    items = []
     for rows_, cols_ in sizes:
         n = rows_ * cols_
         rate = load * n / task_mean
-        cfg = ExperimentConfig(
-            protocol=protocol,
-            arrival_rate=rate,
-            task_mean=task_mean,
-            rows=rows_,
-            cols=cols_,
-            horizon=horizon,
-            seed=seed,
-            unicast_cost="hops",  # fixed-4 would misprice larger meshes
+        grid.append((n, rate))
+        items.append(
+            (
+                n,
+                ExperimentConfig(
+                    protocol=protocol,
+                    arrival_rate=rate,
+                    task_mean=task_mean,
+                    rows=rows_,
+                    cols=cols_,
+                    horizon=horizon,
+                    seed=seed,
+                    unicast_cost="hops",  # fixed-4 would misprice larger meshes
+                ),
+            )
         )
-        res = run_experiment(cfg)
-        raw[n] = res
+    raw = _run_grid("A3-scalability", items, store=store, parallel=parallel)
+    rows: List[List[object]] = []
+    for n, rate in grid:
+        res = raw[n]
         weighted_per_node_s = res.messages_total / (n * horizon)
         delivered_per_node_s = res.extra["delivered_messages"] / (n * horizon)
         rows.append(
@@ -200,30 +253,35 @@ def ablate_attack(
     dwell: float = 100.0,
     seed: int = 1,
     protocol: str = "realtor",
+    store: Optional["RunStore"] = None,
+    parallel: bool = False,
 ) -> AblationResult:
     """A4: attack survivability — sweep-attack severity vs outcomes.
 
     An attacker compromises ``victims`` nodes in sequence (dwell time
     each); components evacuate via the discovery protocol.  Reported:
     admission probability, evacuation success rate, tasks lost.
+
+    Attack randomness draws from the kernel's named "attack" stream
+    (``rng_stream="kernel"``), the seeding this study has always used.
     """
-    rows: List[List[object]] = []
-    raw: Dict[object, RunResult] = {}
+    items = []
     for victims in victims_list:
         cfg = paper_config(protocol, arrival_rate, seed=seed, horizon=horizon)
-        system = build_system(cfg)
+        spec = None
         if victims > 0:
-            attack = SweepAttack(
-                system.topo.nodes(),
+            spec = ChaosSpec(
+                attack="sweep",
                 start=horizon * 0.25,
                 dwell=dwell,
                 victims=victims,
-                rng=system.sim.streams.stream("attack"),
-            ).plan()
-            attack.install(system.faults)
-        system.run()
-        res = system.result()
-        raw[victims] = res
+                rng_stream="kernel",
+            )
+        items.append((victims, cfg, spec))
+    raw = _run_grid("A4-attack", items, store=store, parallel=parallel)
+    rows: List[List[object]] = []
+    for victims in victims_list:
+        res = raw[victims]
         evac_total = res.evacuations
         evac_ok = evac_total - res.evacuation_failures
         rows.append(
@@ -252,6 +310,8 @@ def ablate_inter_community(
     task_mean: float = 5.0,
     horizon: float = 1_000.0,
     seed: int = 1,
+    store: Optional["RunStore"] = None,
+    parallel: bool = False,
 ) -> AblationResult:
     """A6: the Section 7 future-work extension — inter-neighbour-group
     discovery on a large mesh.
@@ -264,30 +324,33 @@ def ablate_inter_community(
     """
     n = rows * cols
     rate = load * n / task_mean
-    rows_out: List[List[object]] = []
-    raw: Dict[object, RunResult] = {}
-    for proto in protocols:
-        cfg = ExperimentConfig(
-            protocol=proto,
-            arrival_rate=rate,
-            task_mean=task_mean,
-            rows=rows,
-            cols=cols,
-            horizon=horizon,
-            seed=seed,
-            unicast_cost="hops",
+    items = [
+        (
+            proto,
+            ExperimentConfig(
+                protocol=proto,
+                arrival_rate=rate,
+                task_mean=task_mean,
+                rows=rows,
+                cols=cols,
+                horizon=horizon,
+                seed=seed,
+                unicast_cost="hops",
+            ),
         )
-        res = run_experiment(cfg)
-        raw[proto] = res
-        rows_out.append(
-            [
-                proto,
-                res.admission_probability,
-                res.migration_rate,
-                res.messages_total,
-                res.messages_per_admitted,
-            ]
-        )
+        for proto in protocols
+    ]
+    raw = _run_grid("A6-inter-community", items, store=store, parallel=parallel)
+    rows_out = [
+        [
+            proto,
+            raw[proto].admission_probability,
+            raw[proto].migration_rate,
+            raw[proto].messages_total,
+            raw[proto].messages_per_admitted,
+        ]
+        for proto in protocols
+    ]
     return AblationResult(
         f"A6 inter-community discovery ({rows}x{cols} mesh, load {load:g})",
         ["protocol", "P(admit)", "mig-rate", "messages", "msg/task"],
@@ -302,6 +365,8 @@ def ablate_multi_resource(
     horizon: float = 1_000.0,
     seed: int = 1,
     protocol: str = "realtor",
+    store: Optional["RunStore"] = None,
+    parallel: bool = False,
 ) -> AblationResult:
     """A7: footnote 3 — "more general resource scenarios such as network
     bandwidth, current security level, etc., would give similar results".
@@ -324,17 +389,20 @@ def ablate_multi_resource(
             secure_task_fraction=0.3,
         ),
     }
+    items = [
+        (
+            (name, rate),
+            paper_config(protocol, rate, seed=seed, horizon=horizon).with_(**extra),
+        )
+        for rate in rates
+        for name, extra in scenarios.items()
+    ]
+    raw = _run_grid("A7-multi-resource", items, store=store, parallel=parallel)
     rows: List[List[object]] = []
-    raw: Dict[object, RunResult] = {}
     for rate in rates:
         row: List[object] = [rate]
-        for name, extra in scenarios.items():
-            cfg = paper_config(protocol, rate, seed=seed, horizon=horizon).with_(
-                **extra
-            )
-            res = run_experiment(cfg)
-            raw[(name, rate)] = res
-            row.append(res.admission_probability)
+        for name in scenarios:
+            row.append(raw[(name, rate)].admission_probability)
         rows.append(row)
     return AblationResult(
         "A7 multi-resource scenarios (admission probability)",
@@ -351,6 +419,8 @@ def ablate_qos(
     horizon: float = 1_000.0,
     seed: int = 1,
     protocols: Sequence[str] = ("realtor", "pull-100"),
+    store: Optional["RunStore"] = None,
+    parallel: bool = False,
 ) -> AblationResult:
     """A8: QoS degradation — deadline miss rate vs load.
 
@@ -361,16 +431,22 @@ def ablate_qos(
     collapses far earlier and far faster than admission probability —
     admission alone understates overload damage.
     """
+    items = [
+        (
+            (proto, rate),
+            paper_config(proto, rate, seed=seed, horizon=horizon).with_(
+                deadline_factor=deadline_factor
+            ),
+        )
+        for rate in rates
+        for proto in protocols
+    ]
+    raw = _run_grid("A8-qos", items, store=store, parallel=parallel)
     rows: List[List[object]] = []
-    raw: Dict[object, RunResult] = {}
     for rate in rates:
         row: List[object] = [rate]
         for proto in protocols:
-            cfg = paper_config(proto, rate, seed=seed, horizon=horizon).with_(
-                deadline_factor=deadline_factor
-            )
-            res = run_experiment(cfg)
-            raw[(proto, rate)] = res
+            res = raw[(proto, rate)]
             row.append(res.admission_probability)
             row.append(res.extra.get("deadline_miss_rate", 0.0))
         rows.append(row)
@@ -391,6 +467,8 @@ def ablate_modern_baselines(
     horizon: float = 1_000.0,
     seed: int = 1,
     protocols: Sequence[str] = ("none", "gossip", "gossip-5", "realtor", "push-.9"),
+    store: Optional["RunStore"] = None,
+    parallel: bool = False,
 ) -> AblationResult:
     """B1: beyond-paper baselines — the no-migration floor and
     SWIM-style push-pull gossip (the protocol family that, post-2003,
@@ -402,22 +480,23 @@ def ablate_modern_baselines(
     (the spread among real protocols); and how does 1970s-style
     anti-entropy compare with REALTOR's demand-driven design on cost.
     """
-    rows: List[List[object]] = []
-    raw: Dict[object, RunResult] = {}
-    for rate in rates:
-        for proto in protocols:
-            cfg = paper_config(proto, rate, seed=seed, horizon=horizon)
-            res = run_experiment(cfg)
-            raw[(proto, rate)] = res
-            rows.append(
-                [
-                    rate,
-                    proto,
-                    res.admission_probability,
-                    res.messages_total,
-                    res.extra.get("view_staleness", 0.0),
-                ]
-            )
+    items = [
+        ((proto, rate), paper_config(proto, rate, seed=seed, horizon=horizon))
+        for rate in rates
+        for proto in protocols
+    ]
+    raw = _run_grid("B1-modern-baselines", items, store=store, parallel=parallel)
+    rows = [
+        [
+            rate,
+            proto,
+            raw[(proto, rate)].admission_probability,
+            raw[(proto, rate)].messages_total,
+            raw[(proto, rate)].extra.get("view_staleness", 0.0),
+        ]
+        for rate in rates
+        for proto in protocols
+    ]
     return AblationResult(
         "B1 modern baselines (no-migration floor, gossip vs REALTOR)",
         ["lambda", "protocol", "P(admit)", "messages", "staleness"],
@@ -433,6 +512,8 @@ def ablate_topology(
     horizon: float = 1_000.0,
     seed: int = 1,
     protocol: str = "realtor",
+    store: Optional["RunStore"] = None,
+    parallel: bool = False,
 ) -> AblationResult:
     """B2: overlay-shape sensitivity.
 
@@ -440,30 +521,33 @@ def ablate_topology(
     (degree 2) gives each node two candidates, the torus four, the full
     mesh twenty-four.  Same 25 nodes, same workload, different overlay.
     """
-    rows: List[List[object]] = []
-    raw: Dict[object, RunResult] = {}
-    for topo in topologies:
-        cfg = ExperimentConfig(
-            protocol=protocol,
-            arrival_rate=arrival_rate,
-            topology=topo,
-            rows=5,
-            cols=5,
-            horizon=horizon,
-            seed=seed,
-            unicast_cost="hops",
+    items = [
+        (
+            topo,
+            ExperimentConfig(
+                protocol=protocol,
+                arrival_rate=arrival_rate,
+                topology=topo,
+                rows=5,
+                cols=5,
+                horizon=horizon,
+                seed=seed,
+                unicast_cost="hops",
+            ),
         )
-        res = run_experiment(cfg)
-        raw[topo] = res
-        rows.append(
-            [
-                topo,
-                res.admission_probability,
-                res.migration_rate,
-                res.messages_total,
-                res.extra.get("view_staleness", 0.0),
-            ]
-        )
+        for topo in topologies
+    ]
+    raw = _run_grid("B2-topology", items, store=store, parallel=parallel)
+    rows = [
+        [
+            topo,
+            raw[topo].admission_probability,
+            raw[topo].migration_rate,
+            raw[topo].messages_total,
+            raw[topo].extra.get("view_staleness", 0.0),
+        ]
+        for topo in topologies
+    ]
     return AblationResult(
         f"B2 topology sensitivity (lambda={arrival_rate:g}, 25 nodes)",
         ["topology", "P(admit)", "mig-rate", "messages", "staleness"],
@@ -479,6 +563,8 @@ def ablate_latency(
     horizon: float = 1_000.0,
     seed: int = 1,
     protocol: str = "realtor",
+    store: Optional["RunStore"] = None,
+    parallel: bool = False,
 ) -> AblationResult:
     """B3: message-latency sensitivity.
 
@@ -488,22 +574,25 @@ def ablate_latency(
     validating the zero-latency simplification — and beyond that, stale
     one-shot migrations begin to fail.
     """
-    rows: List[List[object]] = []
-    raw: Dict[object, RunResult] = {}
-    for latency in latencies:
-        cfg = paper_config(protocol, arrival_rate, seed=seed, horizon=horizon).with_(
-            per_hop_latency=latency
+    items = [
+        (
+            latency,
+            paper_config(protocol, arrival_rate, seed=seed, horizon=horizon).with_(
+                per_hop_latency=latency
+            ),
         )
-        res = run_experiment(cfg)
-        raw[latency] = res
-        rows.append(
-            [
-                latency,
-                res.admission_probability,
-                res.migration_rate,
-                res.response_time_mean,
-            ]
-        )
+        for latency in latencies
+    ]
+    raw = _run_grid("B3-latency", items, store=store, parallel=parallel)
+    rows = [
+        [
+            latency,
+            raw[latency].admission_probability,
+            raw[latency].migration_rate,
+            raw[latency].response_time_mean,
+        ]
+        for latency in latencies
+    ]
     return AblationResult(
         f"B3 per-hop latency (lambda={arrival_rate:g})",
         ["latency-s", "P(admit)", "mig-rate", "response-mean"],

@@ -9,32 +9,44 @@ loss and the protocols' defensive counters (HELP retries, migration
 fallbacks) degrade.
 
 Everything is deterministic per seed: the attack plan is derived from a
-dedicated substream of the config seed, impairment draws come from the
-transport's named ``"impairments"`` stream, and jobs are plain picklable
-tuples so serial and process-pool sweeps return identical results.
+dedicated substream of the config seed (or, for drivers that predate the
+spec, from the kernel's named ``"attack"`` stream — see
+:attr:`ChaosSpec.rng_stream`), impairment draws come from the
+transport's named ``"impairments"`` stream, and the execution unit is a
+plain picklable (config, spec) cell run through the shared
+:func:`~repro.experiments.executor.execute_plan` — so chaos grids get
+serial==parallel determinism, store caching and resume exactly like the
+clean sweeps.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from ..metrics.collector import RunResult
+from ..metrics.export import canonical_rate
 from ..network.impairments import ImpairmentConfig
 from ..network.routing import Router
+from ..network.topology import Topology
 from ..workload.attack import AttackPlan, RandomFailures, RegionAttack, SweepAttack
 from .config import ExperimentConfig
-from .runner import _build_topology, run_experiment
+from .executor import execute_plan
+from .plan import ExperimentPlan, PlanCell
+from .runner import _build_topology, build_system, run_experiment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .store import RunStore
 
 __all__ = [
     "ChaosSpec",
     "make_attack",
+    "run_spec",
     "run_chaos",
     "loss_sweep",
+    "loss_sweep_plan",
     "degradation_table",
     "DEFAULT_LOSS_RATES",
 ]
@@ -60,26 +72,37 @@ class ChaosSpec:
     duration: float = 100.0      # region outage length
     mtbf: float = 400.0          # random-failure mean time between failures
     mttr: float = 50.0           # random-failure mean repair time
+    #: where attack-plan randomness comes from: "dedicated" mixes the
+    #: config seed with a private tag (the chaos default, immune to
+    #: kernel stream usage); "kernel" draws from the simulator's named
+    #: "attack" stream (the A4 ablation's historical seeding, preserved
+    #: so its tables stay bit-identical through the plan refactor)
+    rng_stream: str = "dedicated"
 
     def __post_init__(self) -> None:
         if self.attack not in ("none", "sweep", "region", "random"):
             raise ValueError(f"unknown attack: {self.attack!r}")
+        if self.rng_stream not in ("dedicated", "kernel"):
+            raise ValueError(f"unknown rng_stream: {self.rng_stream!r}")
 
 
-def make_attack(cfg: ExperimentConfig, spec: ChaosSpec) -> Optional[AttackPlan]:
-    """Materialise ``spec`` against ``cfg``'s topology, seeded by ``cfg.seed``."""
+def _materialise(
+    spec: ChaosSpec,
+    topo: Topology,
+    horizon: float,
+    make_rng: Callable[[], np.random.Generator],
+) -> Optional[AttackPlan]:
+    """Expand ``spec`` against a concrete topology (rng drawn lazily)."""
     if spec.attack == "none":
         return None
-    topo = _build_topology(cfg)
     nodes = topo.nodes()
-    rng = np.random.default_rng([cfg.seed, _ATTACK_STREAM])
     if spec.attack == "sweep":
         return SweepAttack(
             nodes,
             start=spec.start,
             dwell=spec.dwell,
             victims=min(spec.victims, len(nodes)),
-            rng=rng,
+            rng=make_rng(),
         ).plan()
     if spec.attack == "region":
         return RegionAttack(
@@ -90,18 +113,66 @@ def make_attack(cfg: ExperimentConfig, spec: ChaosSpec) -> Optional[AttackPlan]:
             duration=spec.duration,
         ).plan()
     return RandomFailures(
-        nodes, horizon=cfg.horizon, mtbf=spec.mtbf, mttr=spec.mttr, rng=rng
+        nodes, horizon=horizon, mtbf=spec.mtbf, mttr=spec.mttr, rng=make_rng()
     ).plan()
 
 
-def _run_chaos(job: Tuple[ExperimentConfig, ChaosSpec]) -> RunResult:
-    cfg, spec = job
+def make_attack(cfg: ExperimentConfig, spec: ChaosSpec) -> Optional[AttackPlan]:
+    """Materialise ``spec`` against ``cfg``'s topology, seeded by ``cfg.seed``."""
+    return _materialise(
+        spec,
+        _build_topology(cfg),
+        cfg.horizon,
+        lambda: np.random.default_rng([cfg.seed, _ATTACK_STREAM]),
+    )
+
+
+def run_spec(cfg: ExperimentConfig, spec: ChaosSpec) -> RunResult:
+    """One (config, spec) cell — the executor's chaos entry point."""
+    if spec.attack == "none":
+        return run_experiment(cfg)
+    if spec.rng_stream == "kernel":
+        system = build_system(cfg)
+        attack = _materialise(
+            spec,
+            system.topo,
+            cfg.horizon,
+            lambda: system.sim.streams.stream("attack"),
+        )
+        attack.install(system.faults)
+        system.run()
+        return system.result()
     return run_experiment(cfg, make_attack(cfg, spec))
 
 
 def run_chaos(cfg: ExperimentConfig, spec: ChaosSpec = ChaosSpec()) -> RunResult:
     """One attack-plus-impairments run (spec defaults to the sweep attack)."""
-    return _run_chaos((cfg, spec))
+    return run_spec(cfg, spec)
+
+
+def loss_sweep_plan(
+    base: ExperimentConfig,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    *,
+    spec: ChaosSpec = ChaosSpec(),
+) -> ExperimentPlan:
+    """The loss-rate grid as a plan (keys: canonical loss rates)."""
+    template = base.impairments if base.impairments is not None else ImpairmentConfig()
+    cells = []
+    for rate in loss_rates:
+        rate_c = canonical_rate(rate)
+        cells.append(
+            PlanCell(
+                key=(rate_c,),
+                config=base.with_(impairments=template.with_(loss_rate=rate_c)),
+                spec=spec,
+            )
+        )
+
+    def reduce(plan: ExperimentPlan, results) -> Dict[float, RunResult]:
+        return {cell.key[0]: res for cell, res in zip(plan.cells, results)}
+
+    return ExperimentPlan("loss-sweep", tuple(cells), reduce)
 
 
 def loss_sweep(
@@ -111,6 +182,8 @@ def loss_sweep(
     spec: ChaosSpec = ChaosSpec(),
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    store: Optional["RunStore"] = None,
+    force: bool = False,
 ) -> Dict[float, RunResult]:
     """The same attack scenario across a grid of per-link loss rates.
 
@@ -120,25 +193,22 @@ def loss_sweep(
     leaves the impairment hook uninstalled entirely: the clean baseline
     is byte-identical to a non-chaos run of the same config.
     """
-    template = base.impairments if base.impairments is not None else ImpairmentConfig()
-    jobs = [
-        (base.with_(impairments=template.with_(loss_rate=float(rate))), spec)
-        for rate in loss_rates
-    ]
-    if not parallel or len(jobs) == 1:
-        results = [_run_chaos(job) for job in jobs]
-    else:
-        workers = max_workers or min(len(jobs), os.cpu_count() or 1)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_run_chaos, jobs))
-    return {float(rate): res for rate, res in zip(loss_rates, results)}
+    plan = loss_sweep_plan(base, loss_rates, spec=spec)
+    results = execute_plan(
+        plan,
+        store=store,
+        force=force,
+        parallel=parallel,
+        max_workers=max_workers,
+    )
+    return plan.reduce(results)  # type: ignore[return-value]
 
 
 def degradation_table(results: Dict[float, RunResult]) -> str:
     """Render a loss-rate sweep as the graceful-degradation table."""
     from ..metrics.report import format_table
 
-    rows: List[list] = []
+    rows = []
     for rate in sorted(results):
         res = results[rate]
         extra = res.extra

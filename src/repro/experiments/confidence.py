@@ -11,13 +11,19 @@ an actual z statistic instead of curve eyeballing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
 
 from ..metrics.collector import RunResult
+from ..metrics.export import canonical_rate
 from ..metrics.report import format_table
 from ..metrics.stats import SummaryStats, proportion_ci, summarize, two_proportion_z
 from .config import ExperimentConfig
-from .sweep import run_replications
+from .executor import execute_plan
+from .plan import confidence_plan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.telemetry import ProgressReporter
+    from .store import RunStore
 
 __all__ = ["PointEstimate", "confidence_sweep", "compare_protocols"]
 
@@ -48,18 +54,38 @@ def confidence_sweep(
     seeds: Iterable[int] = range(5),
     metric: Callable[[RunResult], float] = lambda r: r.admission_probability,
     parallel: bool = False,
+    max_workers: Optional[int] = None,
+    progress: Optional["ProgressReporter"] = None,
+    store: Optional["RunStore"] = None,
+    force: bool = False,
 ) -> Dict[str, Dict[float, PointEstimate]]:
-    """Replicate every (protocol, rate) point across ``seeds``."""
+    """Replicate every (protocol, rate) point across ``seeds``.
+
+    The whole (protocol × rate × seed) grid expands to one plan and runs
+    through the shared executor — a parallel sweep load-balances across
+    all points at once, and with a ``store`` each replicated cell caches
+    and resumes independently.
+    """
     seeds = list(seeds)
+    plan = confidence_plan(protocols, rates, base, seeds)
+    results = execute_plan(
+        plan,
+        store=store,
+        force=force,
+        parallel=parallel,
+        max_workers=max_workers,
+        progress=progress,
+    )
+    by_cell = iter(results)
     out: Dict[str, Dict[float, PointEstimate]] = {}
     for proto in protocols:
         out[proto] = {}
         for rate in rates:
-            cfg = base.with_(protocol=proto, arrival_rate=rate)
-            runs = run_replications(cfg, seeds, parallel=parallel)
-            out[proto][rate] = PointEstimate(
+            runs = [next(by_cell) for _ in seeds]
+            rate_c = canonical_rate(rate)
+            out[proto][rate_c] = PointEstimate(
                 protocol=proto,
-                arrival_rate=rate,
+                arrival_rate=rate_c,
                 summary=summarize([metric(r) for r in runs]),
                 pooled_successes=sum(r.admitted for r in runs),
                 pooled_trials=sum(r.generated for r in runs),

@@ -16,11 +16,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from typing import TYPE_CHECKING
+
 from ..metrics.collector import RunResult
+from ..metrics.export import canonical_rate
 from ..metrics.report import figure_table
 from ..protocols.registry import PAPER_PROTOCOLS
 from .config import ExperimentConfig, paper_config
 from .sweep import SweepResults, run_sweep
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .store import RunStore
 
 __all__ = [
     "FigureResult",
@@ -76,8 +82,9 @@ class FigureResult:
 def _series(
     raw: SweepResults, rates: Sequence[float], metric: Callable[[RunResult], float]
 ) -> Dict[str, List[float]]:
+    keys = [canonical_rate(r) for r in rates]
     return {
-        proto: [metric(raw[proto][r]) for r in rates if r in raw[proto]]
+        proto: [metric(raw[proto][r]) for r in keys if r in raw[proto]]
         for proto in raw
     }
 
@@ -90,10 +97,14 @@ def _sweep(
     seed: int,
     base: Optional[ExperimentConfig],
     parallel: bool,
+    store: Optional["RunStore"] = None,
+    force: bool = False,
 ) -> SweepResults:
     cfg = base if base is not None else paper_config("realtor", rates[0])
     cfg = cfg.with_(horizon=horizon, seed=seed)
-    return run_sweep(protocols, list(rates), cfg, parallel=parallel)
+    return run_sweep(
+        protocols, list(rates), cfg, parallel=parallel, store=store, force=force
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -109,11 +120,13 @@ def fig5_admission_probability(
     base: Optional[ExperimentConfig] = None,
     parallel: bool = False,
     raw: Optional[SweepResults] = None,
+    store: Optional["RunStore"] = None,
+    force: bool = False,
 ) -> FigureResult:
     """Admission probability vs arrival rate, five protocols."""
     if raw is None:
         raw = _sweep(rates, protocols=protocols, horizon=horizon, seed=seed,
-                     base=base, parallel=parallel)
+                     base=base, parallel=parallel, store=store, force=force)
     series = _series(raw, rates, lambda r: r.admission_probability)
     table = figure_table(raw, lambda r: r.admission_probability)
     checks: List[ShapeCheck] = []
@@ -168,11 +181,13 @@ def fig6_message_overhead(
     base: Optional[ExperimentConfig] = None,
     parallel: bool = False,
     raw: Optional[SweepResults] = None,
+    store: Optional["RunStore"] = None,
+    force: bool = False,
 ) -> FigureResult:
     """Total weighted message count vs arrival rate."""
     if raw is None:
         raw = _sweep(rates, protocols=protocols, horizon=horizon, seed=seed,
-                     base=base, parallel=parallel)
+                     base=base, parallel=parallel, store=store, force=force)
     series = _series(raw, rates, lambda r: r.messages_total)
     table = figure_table(raw, lambda r: r.messages_total, float_fmt="{:.3g}")
     checks: List[ShapeCheck] = []
@@ -239,11 +254,13 @@ def fig7_cost_per_task(
     base: Optional[ExperimentConfig] = None,
     parallel: bool = False,
     raw: Optional[SweepResults] = None,
+    store: Optional["RunStore"] = None,
+    force: bool = False,
 ) -> FigureResult:
     """Weighted message cost per admitted task vs arrival rate."""
     if raw is None:
         raw = _sweep(rates, protocols=protocols, horizon=horizon, seed=seed,
-                     base=base, parallel=parallel)
+                     base=base, parallel=parallel, store=store, force=force)
     series = _series(raw, rates, lambda r: r.messages_per_admitted)
     table = figure_table(raw, lambda r: r.messages_per_admitted, float_fmt="{:.1f}")
     checks: List[ShapeCheck] = []
@@ -299,11 +316,13 @@ def fig8_migration_rate(
     base: Optional[ExperimentConfig] = None,
     parallel: bool = False,
     raw: Optional[SweepResults] = None,
+    store: Optional["RunStore"] = None,
+    force: bool = False,
 ) -> FigureResult:
     """Migrations per admitted task vs arrival rate."""
     if raw is None:
         raw = _sweep(rates, protocols=protocols, horizon=horizon, seed=seed,
-                     base=base, parallel=parallel)
+                     base=base, parallel=parallel, store=store, force=force)
     series = _series(raw, rates, lambda r: r.migration_rate)
     table = figure_table(raw, lambda r: r.migration_rate, float_fmt="{:.3f}")
     checks: List[ShapeCheck] = []
@@ -348,6 +367,8 @@ def fig9_testbed_admission(
     horizon: float = 5_000.0,
     seed: int = 1,
     sim_reference: bool = True,
+    store: Optional["RunStore"] = None,
+    force: bool = False,
 ) -> FigureResult:
     """Admission probability on the 20-host cluster emulation (REALTOR).
 
@@ -374,7 +395,9 @@ def fig9_testbed_admission(
             horizon=horizon,
             seed=seed,
         )
-        sim = run_sweep(["realtor"], list(rates), sim_cfg)
+        sim = run_sweep(
+            ["realtor"], list(rates), sim_cfg, store=store, force=force
+        )
         series["simulation"] = [
             sim["realtor"][r].admission_probability for r in rates
         ]

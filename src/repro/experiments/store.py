@@ -1,0 +1,233 @@
+"""Content-addressed run store: checkpoint/resume for experiment grids.
+
+Every :class:`~repro.experiments.plan.PlanCell` hashes to a stable
+digest over its *inputs* — the canonically-serialised
+:class:`~repro.experiments.config.ExperimentConfig` (nested frozen
+dataclasses included), the optional
+:class:`~repro.experiments.chaos.ChaosSpec`, and a code-version salt.
+The executor consults the store before running a cell and persists each
+finished :class:`~repro.metrics.collector.RunResult` immediately, so:
+
+* a killed 500-run sweep resumes where it died — the next invocation
+  re-runs only the missing cells;
+* editing one λ point or one protocol knob re-executes only the changed
+  cells (their digests change; everything else hits);
+* figures regenerate straight from the store without re-simulating.
+
+Layout on disk (everything plain JSON — portable, diffable, greppable)::
+
+    <root>/
+      index.json          # format tag + salt + entry count (metadata)
+      shards/<xx>.jsonl   # xx = first digest byte; one record per line
+
+Records are append-only; re-running a cell with ``force`` appends a
+fresh record and the *last* line per digest wins on load.  A process
+killed mid-append leaves at most one truncated trailing line, which the
+loader skips — the shard files, not the index, are the source of truth.
+
+Digest invalidation: bump :data:`CODE_VERSION` when a change alters what
+a run *means* (kernel semantics, RNG streams, metric definitions).  Old
+records stay on disk but can never satisfy a new-salt lookup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..metrics.collector import RunResult
+from ..metrics.export import result_from_dict, result_to_dict
+
+__all__ = [
+    "RunStore",
+    "config_digest",
+    "canonical_config_dict",
+    "STORE_FORMAT",
+    "CODE_VERSION",
+    "default_salt",
+]
+
+STORE_FORMAT = "repro-runstore/1"
+
+#: bump on any change that alters run semantics for identical configs
+CODE_VERSION = "1"
+
+
+def default_salt() -> str:
+    return f"{STORE_FORMAT}:code={CODE_VERSION}"
+
+
+def canonical_config_dict(obj: object) -> object:
+    """Recursively reduce dataclasses/containers to canonical JSON values.
+
+    Dataclass instances carry their type name (so an ``ExperimentConfig``
+    and a hypothetical other config with equal fields cannot collide);
+    mapping keys are stringified and sorted; tuples become lists.  Floats
+    pass through — ``json.dumps`` emits shortest-repr, which is stable.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: Dict[str, object] = {
+            f.name: canonical_config_dict(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        out["__type__"] = type(obj).__name__
+        return out
+    if isinstance(obj, dict):
+        return {
+            str(k): canonical_config_dict(v)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonical_config_dict(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalise {type(obj).__name__!r} for digesting")
+
+
+def config_digest(
+    config: object, spec: Optional[object] = None, *, salt: Optional[str] = None
+) -> str:
+    """SHA-256 of the canonical (config, spec, salt) triple."""
+    payload = {
+        "config": canonical_config_dict(config),
+        "spec": canonical_config_dict(spec) if spec is not None else None,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    h = hashlib.sha256()
+    h.update((salt if salt is not None else default_salt()).encode("utf-8"))
+    h.update(b"\x00")
+    h.update(text.encode("utf-8"))
+    return h.hexdigest()
+
+
+class RunStore:
+    """Digest-keyed persistence of run results, JSONL shards + index.
+
+    Opening a store loads every shard into memory (results are a few KB
+    each; a full paper grid is well under a MB).  ``get``/``put`` then
+    cost a dict lookup / one appended line.  ``hits``/``misses``/
+    ``writes`` counters feed the sweep telemetry rollups.
+    """
+
+    def __init__(self, root: Union[str, Path], *, salt: Optional[str] = None) -> None:
+        self.root = Path(root)
+        self.salt = salt if salt is not None else default_salt()
+        self.shard_dir = self.root / "shards"
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt_lines = 0
+        self._records: Dict[str, Dict[str, object]] = {}
+        self._results: Dict[str, RunResult] = {}
+        self._check_format()
+        self._load()
+
+    # Loading --------------------------------------------------------------
+
+    def _check_format(self) -> None:
+        index = self.root / "index.json"
+        if not index.exists():
+            return
+        try:
+            meta = json.loads(index.read_text())
+        except json.JSONDecodeError:
+            return  # killed mid-flush; shards are the source of truth
+        tag = meta.get("format")
+        if tag is not None and tag != STORE_FORMAT:
+            raise ValueError(f"{self.root} is not a {STORE_FORMAT} store: {tag!r}")
+
+    def _load(self) -> None:
+        for shard in sorted(self.shard_dir.glob("*.jsonl")):
+            with shard.open() as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        digest = record["digest"]
+                        record["result"]  # presence check
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        # a kill mid-append truncates at most the last
+                        # line of one shard; everything before it is intact
+                        self.corrupt_lines += 1
+                        continue
+                    self._records[str(digest)] = record
+                    self._results.pop(str(digest), None)
+
+    # Mapping --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._records
+
+    def digest(self, config: object, spec: Optional[object] = None) -> str:
+        """The digest this store would file (config, spec) under."""
+        return config_digest(config, spec, salt=self.salt)
+
+    def get(self, digest: str) -> Optional[RunResult]:
+        """The stored result, or ``None`` (counted as hit/miss)."""
+        record = self._records.get(digest)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        result = self._results.get(digest)
+        if result is None:
+            result = result_from_dict(dict(record["result"]))  # type: ignore[arg-type]
+            self._results[digest] = result
+        return result
+
+    def get_record(self, digest: str) -> Optional[Dict[str, object]]:
+        """The raw stored record (config + spec + result), uncounted."""
+        return self._records.get(digest)
+
+    def put(
+        self,
+        digest: str,
+        config: object,
+        result: RunResult,
+        spec: Optional[object] = None,
+    ) -> None:
+        """Persist one finished cell (append-only; last record wins)."""
+        record: Dict[str, object] = {
+            "digest": digest,
+            "config": canonical_config_dict(config),
+            "spec": canonical_config_dict(spec) if spec is not None else None,
+            "result": result_to_dict(result),
+        }
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        shard = self.shard_dir / f"{digest[:2]}.jsonl"
+        with shard.open("a") as fh:
+            fh.write(line + "\n")
+        self._records[digest] = record
+        self._results[digest] = result
+        self.writes += 1
+
+    def flush(self) -> None:
+        """Write the metadata index (informational; shards are canonical)."""
+        meta = {
+            "format": STORE_FORMAT,
+            "salt": self.salt,
+            "entries": len(self._records),
+            "shards": sorted(p.name for p in self.shard_dir.glob("*.jsonl")),
+        }
+        (self.root / "index.json").write_text(
+            json.dumps(meta, indent=2, sort_keys=True) + "\n"
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Session counters for telemetry/CLI reporting."""
+        return {
+            "entries": len(self._records),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt_lines": self.corrupt_lines,
+        }

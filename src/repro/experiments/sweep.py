@@ -1,34 +1,33 @@
 """Parameter sweeps over (protocol, arrival rate, seed).
 
-Runs are embarrassingly parallel; :func:`run_sweep` optionally fans out
-over a process pool (each run is single-threaded pure Python, so
-processes — not threads — are the right tool; cf. the hpc-parallel
-guides).  Configs and results are plain picklable dataclasses.
+Both drivers here are thin plan builders: they expand to an
+:class:`~repro.experiments.plan.ExperimentPlan` and hand it to the
+shared :func:`~repro.experiments.executor.execute_plan`, which supplies
+serial/process-pool dispatch, live telemetry, and — when a
+:class:`~repro.experiments.store.RunStore` is passed — content-addressed
+caching with checkpoint/resume.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
 
 from ..metrics.collector import RunResult
 from ..metrics.stats import summarize
 from .config import ExperimentConfig
-from .runner import run_experiment
+from .executor import execute_plan
+from .plan import replication_plan, sweep_plan
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.telemetry import ProgressReporter
+    from .store import RunStore
 
 __all__ = ["run_sweep", "run_replications", "SweepResults"]
 
 #: results keyed [protocol][arrival_rate] -> RunResult (single seed) or
-#: list of RunResults (replications)
+#: list of RunResults (replications); rate keys are canonical
+#: (:func:`~repro.metrics.export.canonical_rate`)
 SweepResults = Dict[str, Dict[float, RunResult]]
-
-
-def _run_one(cfg: ExperimentConfig) -> RunResult:
-    return run_experiment(cfg)
 
 
 def run_sweep(
@@ -39,6 +38,8 @@ def run_sweep(
     parallel: bool = False,
     max_workers: Optional[int] = None,
     progress: Optional["ProgressReporter"] = None,
+    store: Optional["RunStore"] = None,
+    force: bool = False,
 ) -> SweepResults:
     """One run per (protocol, rate), all from ``base`` with a shared seed.
 
@@ -49,20 +50,21 @@ def run_sweep(
 
     ``progress`` (an :class:`~repro.obs.telemetry.ProgressReporter`)
     receives every completed run as results stream in — live telemetry
-    for long sweeps; result values are unaffected.
+    for long sweeps; result values are unaffected.  ``store`` makes the
+    sweep resumable: cached cells are served from disk, fresh cells are
+    persisted as they finish, and ``force`` re-runs everything while
+    refreshing the store.
     """
-    configs = [
-        base.with_(protocol=proto, arrival_rate=rate)
-        for proto in protocols
-        for rate in rates
-    ]
-    results = _execute(
-        configs, parallel=parallel, max_workers=max_workers, progress=progress
+    plan = sweep_plan(protocols, rates, base)
+    results = execute_plan(
+        plan,
+        store=store,
+        force=force,
+        parallel=parallel,
+        max_workers=max_workers,
+        progress=progress,
     )
-    out: SweepResults = {proto: {} for proto in protocols}
-    for cfg, res in zip(configs, results):
-        out[cfg.protocol][cfg.arrival_rate] = res
-    return out
+    return plan.reduce(results)  # type: ignore[return-value]
 
 
 def run_replications(
@@ -72,48 +74,19 @@ def run_replications(
     parallel: bool = False,
     max_workers: Optional[int] = None,
     progress: Optional["ProgressReporter"] = None,
+    store: Optional["RunStore"] = None,
+    force: bool = False,
 ) -> List[RunResult]:
     """Independent replications of one configuration across seeds."""
-    configs = [cfg.with_(seed=s) for s in seeds]
-    if not configs:
-        raise ValueError("no seeds given")
-    return _execute(
-        configs, parallel=parallel, max_workers=max_workers, progress=progress
+    plan = replication_plan(cfg, seeds)
+    return execute_plan(
+        plan,
+        store=store,
+        force=force,
+        parallel=parallel,
+        max_workers=max_workers,
+        progress=progress,
     )
-
-
-def _execute(
-    configs: List[ExperimentConfig],
-    *,
-    parallel: bool,
-    max_workers: Optional[int],
-    progress: Optional["ProgressReporter"] = None,
-) -> List[RunResult]:
-    if not parallel or len(configs) == 1:
-        out: List[RunResult] = []
-        for cfg in configs:
-            res = _run_one(cfg)
-            if progress is not None:
-                progress.update(cfg, res)
-            out.append(res)
-        return out
-    workers = max_workers or min(len(configs), os.cpu_count() or 1)
-    # Chunked dispatch: large (protocol x rate x seed) grids ship several
-    # configs per IPC round-trip instead of one, amortising pickling and
-    # pool scheduling.  ~4 chunks per worker keeps the tail balanced when
-    # run times differ across the grid.  Results come back in submission
-    # order either way, so serial and parallel sweeps are interchangeable
-    # (pinned by the golden-trace equivalence test).  ``pool.map`` yields
-    # lazily, so the progress reporter sees runs as chunks complete
-    # rather than all at once at the end.
-    chunk = max(1, len(configs) // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        out = []
-        for cfg, res in zip(configs, pool.map(_run_one, configs, chunksize=chunk)):
-            if progress is not None:
-                progress.update(cfg, res)
-            out.append(res)
-        return out
 
 
 def replication_summary(results: Sequence[RunResult], confidence: float = 0.95):

@@ -32,8 +32,10 @@ from typing import Dict, Union
 from .collector import RunResult
 
 __all__ = [
+    "canonical_rate",
     "result_to_dict",
     "result_from_dict",
+    "result_to_canonical_json",
     "save_sweep",
     "load_sweep",
     "save_sweep_csv",
@@ -42,6 +44,22 @@ __all__ = [
 ]
 
 FORMAT_TAG = "repro-sweep/1"
+
+
+def canonical_rate(value: float) -> float:
+    """The one canonical form of a float grid key (arrival/loss rates).
+
+    Sweep grids index results by float keys, and the same mathematical
+    point can arrive as ``3.0`` from a literal or ``3.0000000000000004``
+    from accumulated arithmetic.  Every layer that keys on a rate — the
+    sweep reducers, the run-store digests, the JSON/CSV round-trips —
+    routes the key through here, so a lookup can never miss its own
+    result.  Rounding to 12 decimal places erases accumulated binary
+    noise (~4 ulp at magnitude 1e3) while preserving every humanly
+    distinguishable grid point; ``repr`` of the result is stable under
+    further round-trips because Python floats print shortest-repr.
+    """
+    return round(float(value), 12)
 
 #: RunResult fields serialised verbatim (order defines the JSON layout)
 _FIELDS = (
@@ -77,6 +95,16 @@ def result_from_dict(data: Dict[str, object]) -> RunResult:
     return RunResult(**kwargs)  # type: ignore[arg-type]
 
 
+def result_to_canonical_json(result: RunResult) -> str:
+    """One deterministic JSON line per run.
+
+    Key-sorted, separator-minimal — byte-identical for equal results, so
+    store shards diff cleanly and the resume smoke can compare runs by
+    string equality.
+    """
+    return json.dumps(result_to_dict(result), sort_keys=True, separators=(",", ":"))
+
+
 def save_sweep(
     results: Dict[str, Dict[float, RunResult]],
     path: Union[str, Path],
@@ -86,7 +114,10 @@ def save_sweep(
     payload = {
         "format": FORMAT_TAG,
         "results": {
-            proto: {repr(rate): result_to_dict(res) for rate, res in series.items()}
+            proto: {
+                repr(canonical_rate(rate)): result_to_dict(res)
+                for rate, res in series.items()
+            }
             for proto, series in results.items()
         },
     }
@@ -104,7 +135,8 @@ def load_sweep(path: Union[str, Path]) -> Dict[str, Dict[float, RunResult]]:
     out: Dict[str, Dict[float, RunResult]] = {}
     for proto, series in payload["results"].items():
         out[proto] = {
-            float(rate): result_from_dict(record) for rate, record in series.items()
+            canonical_rate(rate): result_from_dict(record)
+            for rate, record in series.items()
         }
     return out
 
@@ -135,7 +167,7 @@ def save_sweep_csv(
         for proto in results:
             for rate, res in results[proto].items():
                 record = result_to_dict(res)
-                row = [proto, repr(rate)]
+                row = [proto, repr(canonical_rate(rate))]
                 for name in _FIELDS:
                     value = record[name]
                     if name in _DICT_FIELDS:
@@ -157,7 +189,7 @@ def load_sweep_csv(path: Union[str, Path]) -> Dict[str, Dict[float, RunResult]]:
         if header != list(_CSV_HEADER):
             raise ValueError(f"not a sweep CSV (header {header!r})")
         for row in reader:
-            proto, rate = row[0], float(row[1])
+            proto, rate = row[0], canonical_rate(row[1])
             record: Dict[str, object] = {}
             for name, cell in zip(_FIELDS, row[2:]):
                 if name in _DICT_FIELDS:

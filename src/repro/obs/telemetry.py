@@ -101,17 +101,27 @@ class ProgressReporter:
         self.clock = clock
         self.min_interval = float(min_interval)
         self.completed = 0
+        self.cached = 0
         self.rollups: Dict[str, ProtocolRollup] = {}
         self._started_at: Optional[float] = None
         self._last_line_at = -float("inf")
 
     # Sweep-facing -------------------------------------------------------
 
-    def update(self, cfg: object, result: RunResult) -> None:
-        """One run finished; ``cfg`` is its ExperimentConfig."""
+    def update(self, cfg: object, result: RunResult, *, cached: bool = False) -> None:
+        """One run finished; ``cfg`` is its ExperimentConfig.
+
+        ``cached`` marks a run served from a
+        :class:`~repro.experiments.store.RunStore` instead of simulated —
+        it still counts toward progress and the rollups (the sweep's
+        *answer* includes it), but is tallied separately so resumed
+        sweeps report how much work the store skipped.
+        """
         if self._started_at is None:
             self._started_at = self.clock()
         self.completed += 1
+        if cached:
+            self.cached += 1
         protocol = str(getattr(cfg, "protocol", result.params.get("protocol", "?")))
         rollup = self.rollups.setdefault(protocol, ProtocolRollup())
         rollup.add(result)
@@ -140,6 +150,9 @@ class ProgressReporter:
         impaired = ""
         if rollup.drops_sum > 0 or rollup.retries_sum > 0:
             impaired = f"drops={rollup.drops:.1f} retries={rollup.retries:.1f} "
+        # cache column only appears once a store serves a hit, so
+        # store-less sweep output stays exactly as before
+        cache = f"cached={self.cached} " if self.cached else ""
         return (
             f"[obs] {self.completed}/{self.total} "
             f"{protocol} lambda={rate} "
@@ -147,6 +160,7 @@ class ProgressReporter:
             f"msg/s={rollup.message_rate:.1f} "
             f"loss={rollup.loss_rate:.3f} "
             f"{impaired}"
+            f"{cache}"
             f"elapsed={elapsed:.1f}s eta={eta:.1f}s"
         )
 
@@ -161,6 +175,8 @@ class ProgressReporter:
         header = (
             f"[obs] sweep complete: {self.completed}/{self.total} runs"
         )
+        if self.cached:
+            header += f" ({self.cached} served from store)"
         if not rows:
             return header
         return header + "\n" + format_table(

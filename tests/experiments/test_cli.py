@@ -47,6 +47,40 @@ class TestCli:
                 targets += list(cli.FIGURES) + ["fig9"]
         assert targets == ["fig5", "fig6", "fig7", "fig8", "fig9"]
 
+    def test_store_flag_validation(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["fig5", "--resume"])  # --resume needs --store
+        with pytest.raises(SystemExit):
+            cli.main(["fig5", "--store", "x", "--resume", "--force"])
+
+    def test_store_flag_threads_through_figures(self, tmp_path, capsys,
+                                                monkeypatch):
+        import repro.experiments.figures as fg
+
+        seen = {}
+
+        def tiny_fig5(horizon, seed, parallel, raw=None, store=None,
+                      force=False):
+            seen["store"] = store
+            seen["force"] = force
+            return fg.fig5_admission_probability(
+                (2.0,), horizon=100.0, seed=seed,
+                protocols=("realtor",), store=store, force=force,
+            )
+
+        monkeypatch.setitem(cli.FIGURES, "fig5", tiny_fig5)
+        rc = cli.main(["fig5", "--store", str(tmp_path)])
+        assert rc in (0, 1)
+        assert seen["store"] is not None and seen["force"] is False
+        assert len(seen["store"]) == 1  # the sweep's cell persisted
+        assert "[store]" in capsys.readouterr().err
+
+        # second invocation opens the same directory and serves from cache
+        rc = cli.main(["fig5", "--store", str(tmp_path), "--resume"])
+        assert rc in (0, 1)
+        err = capsys.readouterr().err
+        assert "1 hits / 0 misses" in err
+
     def test_ablations_expands(self):
         targets = []
         for t in ["ablations"]:
