@@ -1,6 +1,6 @@
 """CI regression gates for the engine fast paths.
 
-Four gates, the first three against the committed ``BENCH_engine.json``:
+Five gates, most against the committed ``BENCH_engine.json``:
 
 * **queue gate** — re-measures the ``queue_admission_throughput``
   micro-benchmark at full size (it is fast enough for CI
@@ -32,6 +32,14 @@ Four gates, the first three against the committed ``BENCH_engine.json``:
   same machine in the same process, so the ratio is machine-speed
   normalised by construction and needs no committed baseline.
 
+* **scaling gate** — re-measures the 2500-node tier of the topology
+  scaling curve (lazy-router setup + distance queries on the 50x50
+  torus) against the committed ``scaling`` section, machine-speed
+  normalised, with the same ``--tolerance`` as the queue gate; and
+  re-runs the eager all-pairs baseline once to assert the lazy router
+  keeps a >= 10x advantage — the property that makes the 2.5k-10k node
+  tiers tractable at all.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py
@@ -48,10 +56,13 @@ from typing import Optional
 
 from harness import (
     DEFAULT_OUTPUT,
+    _scaling_query_pairs,
     _time_best_of,
     bench_event_throughput,
     bench_flood_throughput,
     bench_queue_admission_throughput,
+    bench_routing_setup_eager,
+    bench_routing_setup_lazy,
 )
 
 GATED = "queue_admission_throughput"
@@ -62,6 +73,14 @@ OVERHEAD_OPS = 20_000
 
 TRANSPORT_GATED = "flood_throughput"
 TRANSPORT_OPS = 500
+
+#: the scaling tier the CI gate re-measures (the acceptance tier: big
+#: enough that the eager all-pairs precompute is seconds, small enough
+#: that the lazy path plus one eager baseline run fits a CI budget)
+SCALING_GATE_NODES = 2500
+#: the lazy router must beat the eager all-pairs baseline by at least
+#: this factor on the tier's query workload — the PR-6 acceptance bar
+SCALING_MIN_SPEEDUP = 10.0
 
 
 def check(
@@ -93,9 +112,16 @@ def check(
         f"({(1.0 - tolerance):.0%} of committed) -> {'OK' if ok else 'REGRESSION'}"
     )
 
+    # The ratio exists to forgive a *slower* CI machine; it must never
+    # raise a floor above the committed value.  Container speed swings
+    # are not uniform across benchmarks (the queue bench can run 25%
+    # faster in the same minute the flood bench runs 10% slower), so an
+    # uncapped >1 ratio turns machine noise into false regressions.
+    speed_ratio = min(1.0, measured_ops / committed_ops)
+
     overhead = check_overhead(
         committed,
-        speed_ratio=measured_ops / committed_ops,
+        speed_ratio=speed_ratio,
         tolerance=overhead_tolerance,
         repeats=repeats,
     )
@@ -104,7 +130,7 @@ def check(
 
     transport = check_transport_overhead(
         committed,
-        speed_ratio=measured_ops / committed_ops,
+        speed_ratio=speed_ratio,
         tolerance=transport_tolerance,
         repeats=repeats,
     )
@@ -116,6 +142,15 @@ def check(
         repeats=repeats,
     )
     ok = ok and store["passed"]
+
+    scaling = check_scaling(
+        committed,
+        speed_ratio=speed_ratio,
+        tolerance=tolerance,
+        repeats=repeats,
+    )
+    if scaling is not None:
+        ok = ok and scaling["passed"]
 
     if output is not None:
         report = {
@@ -132,6 +167,8 @@ def check(
         if transport is not None:
             report["transport_gate"] = transport
         report["store_gate"] = store
+        if scaling is not None:
+            report["scaling_gate"] = scaling
         output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"wrote {output}")
     return 0 if ok else 1
@@ -221,6 +258,87 @@ def check_transport_overhead(
         "measured_min_seconds": round(best, 6),
         "measured_ops_per_second": round(measured_ops, 1),
         "committed_ops_per_second": committed_ops,
+        "speed_ratio": round(speed_ratio, 4),
+        "tolerance": tolerance,
+        "passed": ok,
+    }
+
+
+def check_scaling(
+    committed: dict,
+    *,
+    speed_ratio: float,
+    tolerance: float = 0.3,
+    repeats: int = 3,
+) -> Optional[dict]:
+    """Gate the 2500-node routing tier of the scaling curve.
+
+    Re-measures lazy-router setup+queries on the 2500-node torus and
+    fails when throughput drops more than ``tolerance`` below the
+    committed curve after machine-speed normalisation (the ratio from
+    the queue gate).  Also re-runs the eager all-pairs baseline once and
+    fails when the lazy router's advantage falls below
+    ``SCALING_MIN_SPEEDUP`` — that factor *is* what makes the 2.5k-10k
+    tiers tractable, so losing it is a regression even if absolute
+    timings still look small.
+    """
+    import time
+
+    from repro.network.generators import square_torus
+
+    entry = (
+        committed.get("scaling", {}).get("tiers", {}).get(str(SCALING_GATE_NODES))
+    )
+    if not entry or "routing_lazy_min_seconds" not in entry:
+        print(
+            f"no {SCALING_GATE_NODES}-node scaling entry; skipping scaling gate"
+        )
+        return None
+    committed_seconds = entry["routing_lazy_min_seconds"]
+    queries = entry["routing_queries"]
+    committed_ops = queries / committed_seconds
+
+    topo = square_torus(SCALING_GATE_NODES)
+    pairs = _scaling_query_pairs(SCALING_GATE_NODES)
+    if len(pairs) != queries:
+        print(
+            f"scaling workload changed ({len(pairs)} queries vs committed "
+            f"{queries}); skipping scaling gate — re-run the full harness"
+        )
+        return None
+    best = _time_best_of(lambda: bench_routing_setup_lazy(topo, pairs), repeats)
+    measured_ops = queries / best
+    floor = (1.0 - tolerance) * committed_ops * speed_ratio
+    ok = measured_ops >= floor
+    print(
+        f"routing_scaling_{SCALING_GATE_NODES} (lazy setup+queries): "
+        f"measured {measured_ops:,.0f} ops/s, "
+        f"committed {committed_ops:,.0f} ops/s, "
+        f"machine-speed ratio {speed_ratio:.2f}, floor {floor:,.0f} ops/s "
+        f"({(1.0 - tolerance):.0%} of committed) -> "
+        f"{'OK' if ok else 'REGRESSION'}"
+    )
+
+    t0 = time.perf_counter()
+    bench_routing_setup_eager(topo, pairs)
+    eager = time.perf_counter() - t0
+    speedup = eager / best
+    speedup_ok = speedup >= SCALING_MIN_SPEEDUP
+    ok = ok and speedup_ok
+    print(
+        f"routing_scaling_{SCALING_GATE_NODES} (lazy vs eager all-pairs): "
+        f"{speedup:.1f}x (floor {SCALING_MIN_SPEEDUP:.0f}x) -> "
+        f"{'OK' if speedup_ok else 'REGRESSION'}"
+    )
+    return {
+        "benchmark": f"routing_scaling_{SCALING_GATE_NODES}",
+        "ops": queries,
+        "measured_min_seconds": round(best, 6),
+        "measured_ops_per_second": round(measured_ops, 1),
+        "committed_ops_per_second": round(committed_ops, 1),
+        "eager_seconds": round(eager, 6),
+        "speedup_lazy_vs_eager": round(speedup, 1),
+        "min_speedup": SCALING_MIN_SPEEDUP,
         "speed_ratio": round(speed_ratio, 4),
         "tolerance": tolerance,
         "passed": ok,

@@ -33,8 +33,8 @@ from typing import Callable, Dict, Optional
 from repro.experiments.config import ExperimentConfig, paper_config
 from repro.experiments.runner import run_experiment
 from repro.experiments.sweep import run_sweep
-from repro.network.generators import paper_topology
-from repro.network.routing import Router
+from repro.network.generators import paper_topology, square_torus
+from repro.network.routing import EagerRouter, Router
 from repro.network.transport import Transport
 from repro.node.host import Host
 from repro.node.queue import WorkQueue
@@ -173,6 +173,141 @@ def bench_routing_query_throughput() -> int:
     return total
 
 
+# --------------------------------------------------------------------------
+# Topology scaling curve — nodes ∈ {25, 250, 2500, 10000}
+# --------------------------------------------------------------------------
+
+#: the scaling tiers; smoke mode stops at 250
+SCALING_NODES = (25, 250, 2500, 10_000)
+#: eager all-pairs baseline is only measured up to here (it is the
+#: O(V·(V+E)) precompute the lazy router exists to avoid — ~90 s at 10k)
+EAGER_BASELINE_MAX_NODES = 2500
+#: representative routing workload per tier: distance queries from a
+#: spread of sources, the shape a sweep cell's unicasts actually take
+SCALING_QUERIES = 64
+
+
+def _scaling_query_pairs(n: int) -> list:
+    """Deterministic (src, dst) pairs spread across the torus."""
+    step = max(1, n // 8)
+    sources = [(i * step) % n for i in range(8)]
+    return [
+        (src, (src + 1 + (j * 7919) % (n - 1)) % n)
+        for src in sources
+        for j in range(SCALING_QUERIES // 8)
+    ]
+
+
+def bench_routing_setup_lazy(topo, pairs) -> int:
+    """Fresh lazy Router + the tier's query workload (setup-on-demand)."""
+    router = Router(topo)
+    total = 0
+    for src, dst in pairs:
+        total += router.distance(src, dst)
+    return total
+
+
+def bench_routing_setup_eager(topo, pairs) -> int:
+    """Fresh eager all-pairs Router + the identical workload."""
+    router = EagerRouter(topo)
+    total = 0
+    for src, dst in pairs:
+        total += router.distance(src, dst)
+    return total
+
+
+def bench_flood_scaling(topo, floods: int = 20) -> int:
+    """Fresh transport + ``floods`` whole-overlay floods, fully delivered.
+
+    Builds the epoch structure once, then fans out from distinct sources
+    — the shape a liveness epoch of a big run takes.
+    """
+    sim = Simulator()
+    transport = Transport(sim, topo)
+    n = topo.num_nodes
+    handler = lambda d: None  # noqa: E731
+    for node in range(n):
+        transport.register(node, "adv", handler)
+    step = max(1, n // floods)
+    for i in range(floods):
+        transport.flood((i * step) % n, "adv", None)
+    sim.run()
+    return transport.delivered_messages
+
+
+def bench_scaling_cell(nodes: int, horizon: float = 20.0) -> Dict[str, float]:
+    """One REALTOR sweep cell at the given tier (torus, offered load 0.5)."""
+    cfg = ExperimentConfig(
+        topology="torus",
+        nodes=nodes,
+        arrival_rate=0.5 * nodes / 5.0,  # load 0.5 at task_mean 5
+        horizon=horizon,
+        seed=1,
+    )
+    t0 = time.perf_counter()
+    result = run_experiment(cfg)
+    elapsed = time.perf_counter() - t0
+    return {
+        "nodes": float(nodes),
+        "seconds": elapsed,
+        "sim_rate": horizon / elapsed,
+        "generated": float(result.generated),
+        "admission_probability": result.admission_probability,
+    }
+
+
+def run_scaling_curve(*, smoke: bool, repeats: int) -> Dict[str, dict]:
+    """The nodes ∈ {25, 250, 2500, 10000} curve (smoke: {25, 250}).
+
+    Per tier: lazy-router setup+queries (best of ``repeats``), the eager
+    all-pairs baseline (1 repeat — it is seconds, not milliseconds, at
+    2500 nodes), and the epoch-flood fan-out.  One macro sweep cell runs
+    at the top measured tier to prove the tier completes end to end.
+    """
+    tiers = [n for n in SCALING_NODES if not smoke or n <= 250]
+    curve: Dict[str, dict] = {}
+    for n in tiers:
+        topo = square_torus(n)
+        pairs = _scaling_query_pairs(n)
+        lazy = _time_best_of(lambda: bench_routing_setup_lazy(topo, pairs), repeats)
+        entry: dict = {
+            "nodes": n,
+            "routing_lazy_min_seconds": round(lazy, 6),
+            "routing_queries": len(pairs),
+        }
+        if n <= EAGER_BASELINE_MAX_NODES:
+            t0 = time.perf_counter()
+            bench_routing_setup_eager(topo, pairs)
+            eager = time.perf_counter() - t0
+            entry["routing_eager_min_seconds"] = round(eager, 6)
+            entry["routing_speedup_lazy_vs_eager"] = round(eager / lazy, 1)
+        floods = 20 if n >= 250 else 100
+        flood_best = _time_best_of(
+            lambda: bench_flood_scaling(topo, floods), 1 if n >= 2500 else repeats
+        )
+        entry["flood_min_seconds"] = round(flood_best, 6)
+        entry["floods"] = floods
+        entry["flood_deliveries"] = floods * (n - 1)
+        curve[str(n)] = entry
+        speedup = entry.get("routing_speedup_lazy_vs_eager")
+        print(
+            f"  scaling n={n:>6}: routing {lazy*1e3:9.2f} ms"
+            + (f" ({speedup}x vs eager all-pairs)" if speedup else "")
+            + f", {floods} floods {flood_best*1e3:9.2f} ms"
+        )
+    cell_tier = max(tiers)
+    cell = bench_scaling_cell(cell_tier, horizon=5.0 if smoke else 20.0)
+    print(
+        f"  scaling_cell n={cell_tier}: {cell['seconds']:.2f} s wall "
+        f"({cell['sim_rate']:.0f} sim-s/wall-s, "
+        f"{cell['generated']:.0f} tasks)"
+    )
+    return {
+        "tiers": curve,
+        "macro_cell": {k: round(v, 4) for k, v in cell.items()},
+    }
+
+
 def _time_best_of(fn: Callable[[], object], repeats: int) -> float:
     fn()  # warm caches / allocators
     best = float("inf")
@@ -262,6 +397,8 @@ def run_harness(
     print(f"  {'macro_realtor_sweep':32s} {macro['sweep_3pt_seconds']*1e3:9.2f} ms"
           f"  ({macro['single_run_sim_rate']:.0f} sim-s/wall-s)")
 
+    scaling = run_scaling_curve(smoke=smoke, repeats=repeats)
+
     report = {
         "schema": "bench-engine/1",
         "mode": "smoke" if smoke else "full",
@@ -270,6 +407,7 @@ def run_harness(
         "platform": platform.platform(),
         "micro": micro,
         "macro_realtor": {k: round(v, 4) for k, v in macro.items()},
+        "scaling": scaling,
     }
     out = output if output is not None else DEFAULT_OUTPUT
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -17,6 +17,7 @@ from .plan import (
     confidence_plan,
     grid_plan,
     replication_plan,
+    scaling_plan,
     sweep_plan,
 )
 from .runner import System, build_system, run_experiment
@@ -36,6 +37,7 @@ __all__ = [
     "confidence_plan",
     "grid_plan",
     "replication_plan",
+    "scaling_plan",
     "sweep_plan",
     "RunStore",
     "config_digest",

@@ -58,9 +58,21 @@ class ExperimentConfig:
     secure_task_fraction: float = 0.0
 
     # Topology ----------------------------------------------------------------
-    topology: str = "mesh"              # mesh | torus | ring | star | full | tree
+    #: mesh | torus | ring | star | full | tree | random | scale-free
+    topology: str = "mesh"
     rows: int = 5
     cols: int = 5
+    #: explicit node count — the scaling axis.  ``None`` keeps the
+    #: classic ``rows x cols`` sizing; a value picks the most nearly
+    #: square grid for mesh/torus and sizes the other families directly,
+    #: so sweeps can say ``nodes=2500`` without factorising by hand.
+    nodes: Optional[int] = None
+    #: target mean degree of the randomised families (random, scale-free)
+    topology_degree: int = 4
+    #: edge-set seed of the randomised families.  Deliberately *separate*
+    #: from the run ``seed``: replications across run seeds share one
+    #: overlay (common random numbers), unless an experiment varies it.
+    topology_seed: int = 0
 
     # Transport accounting ------------------------------------------------------
     unicast_cost: str = "fixed"         # fixed | hops | mean  (paper: fixed 4)
@@ -107,14 +119,18 @@ class ExperimentConfig:
             raise ValueError(f"unknown arrival process: {self.arrival_process!r}")
         if self.migration_retry_budget < 0:
             raise ValueError("migration_retry_budget must be >= 0")
+        if self.nodes is not None and self.nodes < 2:
+            raise ValueError("nodes must be >= 2")
+        if self.topology_degree < 1:
+            raise ValueError("topology_degree must be >= 1")
 
     # Derived ------------------------------------------------------------
 
     @property
     def num_nodes(self) -> int:
-        if self.topology in ("mesh", "torus"):
-            return self.rows * self.cols
-        return self.rows * self.cols  # other shapes use rows*cols as n
+        if self.nodes is not None:
+            return self.nodes
+        return self.rows * self.cols  # every shape uses rows*cols as n
 
     @property
     def offered_load(self) -> float:

@@ -40,10 +40,14 @@ __all__ = ["System", "build_system", "run_experiment"]
 
 
 def _build_topology(cfg: ExperimentConfig) -> Topology:
-    n = cfg.rows * cfg.cols
+    n = cfg.num_nodes
     if cfg.topology == "mesh":
+        if cfg.nodes is not None:
+            return generators.square_mesh(n)
         return generators.mesh(cfg.rows, cfg.cols)
     if cfg.topology == "torus":
+        if cfg.nodes is not None:
+            return generators.square_torus(n)
         return generators.torus(cfg.rows, cfg.cols)
     if cfg.topology == "ring":
         return generators.ring(n)
@@ -54,6 +58,10 @@ def _build_topology(cfg: ExperimentConfig) -> Topology:
     if cfg.topology == "tree":
         depth = max(1, (n).bit_length() - 1)
         return generators.binary_tree(depth)
+    if cfg.topology in ("random", "scale-free"):
+        return generators.scenario_topology(
+            cfg.topology, n, degree=cfg.topology_degree, seed=cfg.topology_seed
+        )
     raise ValueError(f"unknown topology: {cfg.topology!r}")
 
 
@@ -279,6 +287,10 @@ def build_system(cfg: ExperimentConfig) -> System:
             on_complete=metrics.task_completed,
         )
 
+    # One shared (never-mutated) node list across all agent contexts —
+    # per-agent copies are O(V^2) memory once the topology axis reaches
+    # thousands of nodes.
+    shared_nodes = list(nodes)
     agents: Dict[int, DiscoveryAgent] = {}
     for nid in nodes:
         ctx = ProtocolContext(
@@ -286,7 +298,7 @@ def build_system(cfg: ExperimentConfig) -> System:
             transport=transport,
             host=hosts[nid],
             config=cfg.protocol_config,
-            all_nodes=list(nodes),
+            all_nodes=shared_nodes,
             is_safe=(lambda nid=nid: faults.is_up(nid)),
         )
         agent = make_agent(cfg.protocol, ctx)

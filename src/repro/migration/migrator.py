@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional
 from ..metrics.collector import MetricsCollector
 from ..network.faults import NodeState
 from ..node.host import Host
-from ..node.task import Task, TaskOutcome
+from ..node.task import Task, TaskOutcome, TaskStatus
 from ..protocols.base import DiscoveryAgent
 from ..sim.kernel import Simulator
 from .admission import AdmissionControl
@@ -80,6 +80,10 @@ class MigrationCoordinator:
         self.silent_retry_budget = silent_retry_budget
         #: count of fallback candidates appended after silent failures
         self.silent_fallbacks = 0
+        #: tasks settled as admitted after every reply to a granted
+        #: negotiation was lost (see ``_give_up``); nonzero only under
+        #: loss impairments or mid-negotiation faults
+        self.orphaned_grants = 0
 
     # Placement ------------------------------------------------------------
 
@@ -195,6 +199,31 @@ class MigrationCoordinator:
         return ranked[0] if ranked else None
 
     def _give_up(self, task: Task, outcome: TaskOutcome) -> None:
+        if task.status in (TaskStatus.QUEUED, TaskStatus.COMPLETED):
+            # Orphaned grant: a responder reserved and admitted the task
+            # but its grant reply was lost in the network, so the origin
+            # timed out and exhausted its chain while the task was (or
+            # is) genuinely running remotely.  Settle it as the admission
+            # the lost reply never confirmed — rejecting (let alone
+            # crashing on) a task that completed elsewhere corrupts the
+            # books.  Unreachable on a perfect network: replies only
+            # disappear under loss impairments or mid-negotiation faults.
+            self.orphaned_grants += 1
+            self.metrics.task_admitted(task)
+            if outcome is TaskOutcome.EVACUATED:
+                self.metrics.evacuation(True)
+            self.sim.trace.emit(
+                self.sim.now,
+                "orphaned-grant",
+                task=task.task_id,
+                src=task.origin,
+                dst=task.admitted_at,
+            )
+            return
+        if task.status is TaskStatus.REJECTED:
+            # Admitted on a lost grant, then lost to a crash before the
+            # origin gave up — the queue drop already accounted it.
+            return
         task.mark_rejected()
         self.metrics.task_rejected(task)
         if outcome is TaskOutcome.EVACUATED:

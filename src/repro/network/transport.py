@@ -33,6 +33,34 @@ from .topology import NodeId, Topology
 
 __all__ = ["Transport", "Delivery", "CostModel", "UnicastCostMode"]
 
+
+class _EpochStructure:
+    """Flood spanning structure for one liveness epoch.
+
+    Built once per ``(topology version, liveness version)`` key and shared
+    by every flood source until the next epoch: the live overlay, its
+    connected-component labelling, each component's sorted member tuple
+    and link count.  Per-source work inside an epoch collapses to a dict
+    lookup plus a receiver-tuple build — the per-message BFS/component
+    scan that made 2.5k-node floods quadratic is gone.
+    """
+
+    __slots__ = ("key", "live", "comp_of", "members", "links")
+
+    def __init__(self, key: tuple, live: Topology) -> None:
+        self.key = key
+        self.live = live
+        self.comp_of: Dict[NodeId, int] = {}
+        self.members: List[tuple] = []
+        self.links: List[int] = []
+        for ci, comp in enumerate(live.connected_components()):
+            self.members.append(tuple(sorted(comp)))
+            self.links.append(0)
+            for n in comp:
+                self.comp_of[n] = ci
+        for u, _v in live.links():
+            self.links[self.comp_of[u]] += 1
+
 Handler = Callable[["Delivery"], None]
 CostSink = Callable[[str, float], None]
 LinkPredicate = Callable[[NodeId, NodeId], bool]
@@ -179,9 +207,10 @@ class Transport:
             impairments if impairments is not None and impairments.enabled else None
         )
         self._handlers: Dict[NodeId, Dict[str, Handler]] = {}
+        self._epoch: Optional[_EpochStructure] = None
         self._flood_cache: Dict[NodeId, tuple] = {}
+        self._depth_cache: Dict[NodeId, dict] = {}
         self._live_router: Optional[Router] = None
-        self._live_router_key: Optional[tuple] = None
         self.sent_messages = 0
         self.delivered_messages = 0
         self.dropped_messages = 0
@@ -260,9 +289,17 @@ class Transport:
                 if self.is_up(n) and (link_up is None or link_up(src, n))
             )
             depth: Optional[dict] = None  # every receiver is depth 1
-            _, _, links = self._flood_structure(src)
+            _, links = self._flood_structure(src)
         else:
-            receivers, depth, links = self._flood_structure(src)
+            receivers, links = self._flood_structure(src)
+            # BFS depths are only consulted with per-hop latency or
+            # impairments installed; the paper's zero-latency perfect
+            # network never pays for them.
+            depth = (
+                self._flood_depth(src)
+                if self._impair is not None or self.per_hop_latency != 0.0
+                else None
+            )
         cost = self.cost_model.flood_cost_override
         if cost is None:
             cost = float(links)
@@ -302,30 +339,60 @@ class Transport:
                       priority=Priority.MESSAGE)
         return list(receivers)
 
-    def _flood_structure(self, src: NodeId) -> tuple:
-        """(receivers, depth map, link count) of src's live component.
+    def _epoch_structure(self) -> _EpochStructure:
+        """The current liveness epoch's shared flood structure.
 
-        Cached per source and invalidated by topology or liveness changes
-        — floods dominate the simulation's event count, and the structure
-        is identical between faults.
+        Rebuilt — and every per-source cache dropped — exactly when the
+        ``(topology version, liveness version)`` key moves; failing or
+        restoring a link mid-run therefore repartitions every subsequent
+        flood and invalidates the live router in the same stroke.
         """
         key = (self.topo.version, self.liveness_version())
+        epoch = self._epoch
+        if epoch is None or epoch.key != key:
+            live = self.topo if not self._fault_aware else self._live_subgraph()
+            epoch = _EpochStructure(key, live)
+            self._epoch = epoch
+            self._flood_cache.clear()
+            self._depth_cache.clear()
+            self._live_router = None
+        return epoch
+
+    def _flood_structure(self, src: NodeId) -> tuple:
+        """(receivers, link count) of ``src``'s live component.
+
+        The receiver tuple is cached per source; everything it derives
+        from lives on the epoch structure, so the per-source cost inside
+        an epoch is one tuple build — not a BFS plus a component scan of
+        the whole overlay, which is what floods used to pay per source.
+        """
+        epoch = self._epoch_structure()
         cached = self._flood_cache.get(src)
-        if cached is not None and cached[0] == key:
-            return cached[1], cached[2], cached[3]
-        live = self._live_subgraph()
-        if not live.has_node(src):
-            result: tuple = ((), {}, 0)
+        if cached is not None:
+            return cached
+        ci = epoch.comp_of.get(src)
+        if ci is None:
+            result: tuple = ((), 0)
         else:
-            comp = next(
-                (c for c in live.connected_components() if src in c), frozenset()
-            )
-            sub = live.subgraph(comp)
-            depth = bfs_distances(sub, src)
-            receivers = tuple(d for d in sorted(comp) if d != src)
-            result = (receivers, depth, sub.num_links)
-        self._flood_cache[src] = (key, *result)
+            receivers = tuple(d for d in epoch.members[ci] if d != src)
+            result = (receivers, epoch.links[ci])
+        self._flood_cache[src] = result
         return result
+
+    def _flood_depth(self, src: NodeId) -> dict:
+        """BFS depths from ``src`` over the live overlay (epoch-cached).
+
+        Only consulted when per-hop latency or impairments need per-
+        receiver hop counts; the zero-latency fast path never builds it.
+        """
+        epoch = self._epoch_structure()
+        depth = self._depth_cache.get(src)
+        if depth is None:
+            depth = (
+                bfs_distances(epoch.live, src) if epoch.live.has_node(src) else {}
+            )
+            self._depth_cache[src] = depth
+        return depth
 
     def multicast(
         self,
@@ -374,16 +441,17 @@ class Transport:
         """Routing oracle over the live overlay.
 
         Falls back to the full-topology router when no fault predicates
-        are installed (the two are identical then); otherwise cached on
-        ``(topology version, liveness version)`` like the flood
-        structure.
+        are installed (the two are identical then); otherwise built over
+        the epoch structure's live topology and dropped with it when the
+        liveness epoch moves.  The lazy :class:`Router` makes the
+        per-epoch rebuild O(V+E) — fresh epochs only re-BFS the sources
+        that actually route afterwards.
         """
         if not self._fault_aware:
             return self.router
-        key = (self.topo.version, self.liveness_version())
-        if self._live_router is None or self._live_router_key != key:
-            self._live_router = Router(self._live_subgraph())
-            self._live_router_key = key
+        epoch = self._epoch_structure()
+        if self._live_router is None:
+            self._live_router = Router(epoch.live)
         return self._live_router
 
     def _charge(self, kind: str, cost: float) -> None:

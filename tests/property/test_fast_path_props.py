@@ -89,8 +89,10 @@ class TestEventQueueTieOrdering:
 
 def _flood_receivers(transport, src):
     """Ground-truth receiver set computed fresh (no cache)."""
+    transport._epoch = None
     transport._flood_cache.clear()
-    receivers, _, links = transport._flood_structure(src)
+    receivers, links = transport._flood_structure(src)
+    transport._epoch = None
     transport._flood_cache.clear()
     return receivers, links
 
@@ -135,7 +137,7 @@ class TestFloodCacheCoherence:
         new_node = 100
         topo.add_node(new_node)
         topo.add_link(new_node, src)
-        after, _, links_after = transport._flood_structure(src)
+        after, links_after = transport._flood_structure(src)
         assert new_node in after
         assert links_after == links_before + 1
         assert set(after) == set(before) | {new_node}

@@ -1,0 +1,105 @@
+"""Scale-tier smoke suite: the 2500-node tier must actually work.
+
+The benchmark harness times the 2.5k-10k tiers; this suite *verifies*
+them at tier-1 cost.  The torus has a closed-form hop distance, so the
+lazy router is checked at 2500 nodes against an analytic oracle instead
+of the eager all-pairs baseline (which takes seconds there — that gap is
+the whole point of the lazy rewrite).  A flood fan-out and one short
+end-to-end REALTOR cell prove the tier is live all the way up the stack.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.network.generators import square_torus
+from repro.network.routing import Router
+from repro.network.transport import Transport
+from repro.sim.kernel import Simulator
+
+SIDE = 50
+NODES = SIDE * SIDE
+
+
+def torus_distance(a: int, b: int) -> int:
+    """Closed-form hop count on the 50x50 torus (ids are row-major)."""
+    ra, ca = divmod(a, SIDE)
+    rb, cb = divmod(b, SIDE)
+    dr = abs(ra - rb)
+    dc = abs(ca - cb)
+    return min(dr, SIDE - dr) + min(dc, SIDE - dc)
+
+
+class TestRoutingAt2500:
+    def test_lazy_rows_match_analytic_torus_distances(self):
+        topo = square_torus(NODES)
+        router = Router(topo)
+        # spread of sources: corners of the grid, centre, arbitrary interior
+        for src in (0, 49, 2450, 1275, 833):
+            got = router.distances_from(src)
+            assert len(got) == NODES
+            for dst in (0, 1, 50, 1275, 2499, 1234):
+                assert got[dst] == torus_distance(src, dst)
+        # the whole check touched a handful of rows, not the V x V matrix
+        assert router.rows_computed == 5
+
+    def test_aggregates_match_analytic_values(self):
+        topo = square_torus(NODES)
+        router = Router(topo)
+        assert router.diameter() == SIDE  # 25 + 25: half-way around both axes
+        assert router.eccentricity(0) == SIDE
+        # Each axis contributes a mean min-wrap offset of
+        # (0 + sum_{d=1..24} 2d + 25) / 50 = 12.5, so the mean over all
+        # ordered pairs is 25.0; excluding the n self-pairs rescales it
+        # by n/(n-1).
+        expected = 25.0 * NODES / (NODES - 1)
+        assert abs(router.mean_shortest_path() - expected) < 1e-9
+
+
+class TestFloodAt2500:
+    def test_flood_reaches_whole_overlay_at_link_cost(self):
+        sim = Simulator()
+        topo = square_torus(NODES)
+        costs = []
+        transport = Transport(
+            sim, topo, on_cost=lambda kind, cost: costs.append(cost)
+        )
+        seen = []
+        for node in range(NODES):
+            transport.register(node, "adv", lambda d: seen.append(d.dst))
+        transport.flood(0, "adv", None)
+        sim.run()
+        assert len(seen) == NODES - 1
+        assert set(seen) == set(range(1, NODES))
+        assert costs == [2.0 * NODES]  # degree-4 torus: 2n links
+
+
+class TestEndToEndCellAt2500:
+    def test_short_realtor_cell_completes(self):
+        cfg = ExperimentConfig(
+            protocol="realtor",
+            topology="torus",
+            nodes=NODES,
+            arrival_rate=250.0,  # offered load 0.5 at task mean 5
+            horizon=5.0,
+            seed=1,
+        )
+        result = run_experiment(cfg)
+        assert result.params["nodes"] == NODES
+        assert result.generated > 800
+        assert 0.0 < result.admission_probability <= 1.0
+
+    def test_scale_free_cell_completes(self):
+        cfg = ExperimentConfig(
+            protocol="realtor",
+            topology="scale-free",
+            nodes=500,
+            topology_seed=3,
+            arrival_rate=50.0,
+            horizon=5.0,
+            seed=1,
+        )
+        result = run_experiment(cfg)
+        assert result.params["topology"] == "scale-free"
+        assert result.generated > 150
+        assert 0.0 < result.admission_probability <= 1.0
