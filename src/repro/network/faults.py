@@ -57,6 +57,22 @@ class FaultManager:
     version: int = 0
     #: outstanding down-window holds per node (see :meth:`hold_down`)
     _holds: Dict[NodeId, int] = field(default_factory=dict)
+    #: (topo.version, self.version, up-node list) memo for :meth:`up_nodes`
+    _up_cache: Optional[tuple] = field(default=None, repr=False)
+    #: optional NodeStateArrays mirror (see :meth:`attach_state`)
+    _state_arrays: Optional[object] = field(default=None, repr=False)
+
+    def attach_state(self, arrays) -> None:
+        """Write liveness through to ``arrays.up`` on every transition.
+
+        Seeds the column from current state first, so attaching mid-run
+        (after faults already happened) is safe.
+        """
+        for nid, state in self._states.items():
+            idx = arrays.index.get(nid)
+            if idx is not None:
+                arrays.up[idx] = state is NodeState.UP
+        self._state_arrays = arrays
 
     # Liveness queries -----------------------------------------------------
 
@@ -81,7 +97,25 @@ class FaultManager:
         return self.state(node) is NodeState.COMPROMISED
 
     def up_nodes(self) -> List[NodeId]:
-        return [n for n in self.topo.nodes() if self.is_up(n)]
+        """Sorted ids of fully-operational nodes (amortised O(1)).
+
+        This is the per-arrival hot query — the origin draw indexes into
+        it for every generated task — so the list is memoised on
+        ``(topo.version, version)`` and recomputed only when the overlay
+        or some node's liveness actually changes.  Callers treat the
+        result as read-only (all in-tree callers index, slice, or
+        iterate); mutate a copy if you must.
+        """
+        cache = self._up_cache
+        key = (self.topo.version, self.version)
+        if cache is not None and cache[0] == key:
+            return cache[1]
+        if not self._states:
+            live = self.topo.nodes()  # already a fresh sorted copy
+        else:
+            live = [n for n in self.topo.nodes() if self.is_up(n)]
+        self._up_cache = (key, live)
+        return live
 
     def link_up(self, u: NodeId, v: NodeId) -> bool:
         link = (u, v) if u <= v else (v, u)
@@ -148,6 +182,11 @@ class FaultManager:
             return
         self._states[node] = state
         self.version += 1
+        arrays = self._state_arrays
+        if arrays is not None:
+            idx = arrays.index.get(node)
+            if idx is not None:
+                arrays.up[idx] = state is NodeState.UP
         self.history.append(FaultEvent(self.sim.now, node, state))
         self.sim.trace.emit(self.sim.now, "fault", node=node, state=state.value)
         for fn in self._observers:

@@ -40,6 +40,10 @@ class Topology:
         self._adj: Dict[NodeId, Set[NodeId]] = {}
         self._links: Set[Link] = set()
         self._version = 0
+        # (version, sorted node list) memo; nodes() is called per flood
+        # epoch and per liveness census, and re-sorting 10k ids each time
+        # is measurable at the top scaling tiers.
+        self._nodes_cache: Tuple[int, List[NodeId]] = (-1, [])
         for n in nodes:
             self.add_node(n)
         for u, v in links:
@@ -90,8 +94,16 @@ class Topology:
         return self._version
 
     def nodes(self) -> List[NodeId]:
-        """Node identifiers in sorted order (deterministic iteration)."""
-        return sorted(self._adj)
+        """Node identifiers in sorted order (deterministic iteration).
+
+        Memoised on :attr:`version`; a fresh copy is returned each call
+        so callers may mutate the result freely.
+        """
+        ver, cached = self._nodes_cache
+        if ver != self._version:
+            cached = sorted(self._adj)
+            self._nodes_cache = (self._version, cached)
+        return list(cached)
 
     def links(self) -> List[Link]:
         """Canonical links in sorted order."""

@@ -214,6 +214,14 @@ class Transport:
         self.sent_messages = 0
         self.delivered_messages = 0
         self.dropped_messages = 0
+        # Cohort fast path: a flood fan-out schedules one _deliver event
+        # per receiver at the same (time, priority); registering the batch
+        # hook lets the kernel hand the whole same-instant run to
+        # _deliver_batch in one call.  Guarded so a bare kernel without
+        # cohort support still works scalar-per-event.
+        register = getattr(sim, "register_batch", None)
+        if register is not None:
+            register(self._deliver, self._deliver_batch)
 
     # Registration --------------------------------------------------------
 
@@ -492,3 +500,29 @@ class Transport:
             return
         self.delivered_messages += 1
         handler(Delivery(src, dst, kind, payload, sent_at, self.sim.now))
+
+    def _deliver_batch(self, cohort: List[tuple]) -> None:
+        """Cohort hook: a same-instant run of :meth:`_deliver` arguments.
+
+        Must be observationally identical to
+        ``for args in cohort: self._deliver(*args)``: liveness and the
+        handler table are re-consulted *per item* — a handler early in
+        the cohort may crash a later receiver or unregister its handlers
+        — and counters bump item by item.  Only the attribute loads
+        (predicate, handler table, clock) are hoisted; the clock cannot
+        move inside a cohort because ``run`` is not reentrant.
+        """
+        is_up = self.is_up
+        by_node = self._handlers
+        now = self.sim.now
+        for src, dst, kind, payload, sent_at in cohort:
+            if not is_up(dst):
+                self.dropped_messages += 1
+                continue
+            handlers = by_node.get(dst)
+            handler = handlers.get(kind) if handlers is not None else None
+            if handler is None:
+                self.dropped_messages += 1
+                continue
+            self.delivered_messages += 1
+            handler(Delivery(src, dst, kind, payload, sent_at, now))

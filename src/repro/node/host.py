@@ -75,6 +75,18 @@ class Host:
         self._held: Dict[int, Dict[str, float]] = {}
         self.rejected_here = 0
 
+    def bind_state(self, arrays) -> None:
+        """Mirror this host's queue/monitor state into shared arrays.
+
+        Wires the write-through slots of a :class:`NodeStateArrays
+        <repro.node.state_arrays.NodeStateArrays>` for this node so
+        vectorized overlay-wide snapshots see the same state as the
+        scalar queries.
+        """
+        slot = arrays.slot(self.node_id)
+        self.queue.bind_state(arrays, slot)
+        self.monitor.bind_state(arrays, slot)
+
     # Local admission -----------------------------------------------------
 
     def can_accept(self, task: Task) -> bool:

@@ -78,6 +78,28 @@ class ThresholdMonitor:
         self._pending: Optional[Event] = None
         self.crossings_up = 0
         self.crossings_down = 0
+        # Optional write-through mirror of the threshold side into a
+        # NodeStateArrays column (see bind_state).
+        self._mirror = None
+        self._mirror_slot = -1
+
+    def bind_state(self, arrays, slot: int) -> None:
+        """Mirror the monitor constants and threshold side into ``arrays``.
+
+        ``threshold``/``hysteresis`` are written once (they are
+        immutable); the last-known side writes through on every flip so
+        ``arrays.below[slot]`` always equals :attr:`below`.
+        """
+        arrays.threshold[slot] = self.threshold
+        arrays.hysteresis[slot] = self.hysteresis
+        arrays.below[slot] = self._below
+        self._mirror = arrays.below
+        self._mirror_slot = slot
+
+    def _set_below(self, below: bool) -> None:
+        self._below = below
+        if self._mirror is not None:
+            self._mirror[self._mirror_slot] = below
 
     # Queries ---------------------------------------------------------------
 
@@ -109,12 +131,12 @@ class ThresholdMonitor:
         """
         usage = self.queue.usage()
         if self._below and usage >= self.threshold + self.hysteresis:
-            self._below = False
+            self._set_below(False)
             self.crossings_up += 1
             self._fire(UP, usage)
         elif not self._below and usage < self.threshold - self.hysteresis:
             # Can happen via task withdrawal (evacuation), not decay.
-            self._below = True
+            self._set_below(True)
             self.crossings_down += 1
             self._fire(DOWN, usage)
         self._reschedule_decay()
@@ -134,7 +156,7 @@ class ThresholdMonitor:
         if self._below:
             # Decay can only cross downward, and we're already below.
             if pending is not None:
-                pending.cancel()
+                self.sim.cancel(pending)
                 self._pending = None
             return
         cross_time = self._cross_time()
@@ -143,7 +165,7 @@ class ThresholdMonitor:
                 # The crossing moved later (or stayed put): keep the event
                 # and let the verify-on-fire check in _decay_cross re-aim.
                 return
-            pending.cancel()
+            self.sim.cancel(pending)
         self._pending = self.sim.at(
             cross_time, self._decay_cross, priority=Priority.STATE
         )
@@ -160,7 +182,7 @@ class ThresholdMonitor:
                 self._cross_time(), self._decay_cross, priority=Priority.STATE
             )
             return
-        self._below = True
+        self._set_below(True)
         self.crossings_down += 1
         self._fire(DOWN, usage)
 
@@ -174,6 +196,6 @@ class ThresholdMonitor:
     def detach(self) -> None:
         """Cancel pending events and drop listeners (node shutdown)."""
         if self._pending is not None:
-            self._pending.cancel()
+            self.sim.cancel(self._pending)
             self._pending = None
         self._listeners.clear()

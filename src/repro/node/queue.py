@@ -76,6 +76,23 @@ class WorkQueue:
         self.admitted_count = 0
         self.completed_count = 0
         self.work_admitted = 0.0
+        # Optional write-through mirror: the shared busy_until column of a
+        # NodeStateArrays, bound via bind_state().  Kept as a bare array
+        # reference + slot so the hot admission path pays one is-None test.
+        self._mirror = None
+        self._mirror_slot = -1
+
+    def bind_state(self, arrays, slot: int) -> None:
+        """Mirror ``busy_until`` into ``arrays.busy_until[slot]``.
+
+        The queue stays the sole mutator; every subsequent busy_until
+        change writes through so vectorized snapshots over the arrays
+        agree with the scalar state at all times.
+        """
+        arrays.busy_until[slot] = self.busy_until
+        arrays.capacity[slot] = self.capacity
+        self._mirror = arrays.busy_until
+        self._mirror_slot = slot
 
     # Queries ----------------------------------------------------------------
 
@@ -140,6 +157,8 @@ class WorkQueue:
         if completion - now > self.capacity + 1e-12:
             return None
         self.busy_until = completion
+        if self._mirror is not None:
+            self._mirror[self._mirror_slot] = completion
         seq = self._next_seq
         self._next_seq = seq + 1
         event = self.sim.at(
@@ -175,14 +194,17 @@ class WorkQueue:
         dead events behind to churn the kernel heap.
         """
         lost = []
+        cancel = self.sim.cancel
         for entry in self._resident:
             task = entry[_TASK]
-            entry[_EVENT].cancel()
+            cancel(entry[_EVENT])
             task.mark_lost()
             lost.append(task)
         self._resident.clear()
         self._index.clear()
         self.busy_until = self.sim.now
+        if self._mirror is not None:
+            self._mirror[self._mirror_slot] = self.busy_until
         return lost
 
     def remove(self, task: Task) -> None:
@@ -209,14 +231,15 @@ class WorkQueue:
             if started_for > 1e-12:
                 raise ValueError(f"task {task.task_id} already started")
         size = task.size
-        entry[_EVENT].cancel()
+        cancel = self.sim.cancel
+        cancel(entry[_EVENT])
         behind = False
         for e in resident:
             if e is entry:
                 behind = True
                 continue
             if behind:
-                e[_EVENT].cancel()
+                cancel(e[_EVENT])
                 c2 = e[_COMPLETION] - size
                 e[_COMPLETION] = c2
                 e[_EVENT] = self.sim.at(
@@ -229,5 +252,7 @@ class WorkQueue:
         resident.remove(entry)
         del self._index[task.task_id]
         self.busy_until -= size
+        if self._mirror is not None:
+            self._mirror[self._mirror_slot] = self.busy_until
         # The withdrawn task re-enters the placement pipeline.
         task.status = TaskStatus.CREATED

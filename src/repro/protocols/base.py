@@ -88,6 +88,15 @@ class ProtocolConfig:
     #: "network" floods the whole overlay.  Message-cost accounting is
     #: identical in both modes (flood = #links), per the paper.
     scope: str = "neighbors"
+    #: when True, fixed-period protocol timers (pure-PUSH advertisements,
+    #: gossip rounds) join one shared kernel round per interval —
+    #: :meth:`Simulator.shared_periodic
+    #: <repro.sim.kernel.Simulator.shared_periodic>` — instead of one
+    #: phase-staggered timer per node.  One heap entry per round instead
+    #: of V collapses the dominant timer traffic at the 10k-node tier.
+    #: Default False: the paper's hosts are deliberately unsynchronised,
+    #: and all published-figure traces stay bit-identical.
+    synchronized_rounds: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.threshold < 1.0:
@@ -212,7 +221,11 @@ class DiscoveryAgent(abc.ABC):
             self.node_id, kind, payload, neighbors_only=self.config.scope == "neighbors"
         )
 
-    def prime_view(self, hosts: Dict[int, Host]) -> None:
+    def prime_view(
+        self,
+        hosts: Dict[int, Host],
+        snapshots: Optional[Dict[int, tuple]] = None,
+    ) -> None:
         """Install perfect information at t=0, within the protocol scope.
 
         All nodes start idle and mutually known; priming removes the
@@ -221,16 +234,27 @@ class DiscoveryAgent(abc.ABC):
         only neighbours are primed — the protocol could never learn about
         anyone else, and stale never-refreshed beliefs about distant
         nodes would poison candidate ranking.
+
+        ``snapshots`` is an optional pre-computed
+        ``{node: (headroom, usage, available)}`` table (the runner builds
+        one vectorized census for all V agents); values must match
+        ``hosts[nid].snapshot()`` — without it each priming re-derives
+        every in-scope host's snapshot scalar-wise.
         """
         if self.config.scope == "neighbors":
             in_scope = set(self.transport.topo.neighbors(self.node_id))
         else:
             in_scope = {nid for nid in hosts if nid != self.node_id}
+        now = self.sim.now
+        update = self.view.update
+        if snapshots is not None:
+            for nid in sorted(in_scope):
+                headroom, usage, available = snapshots[nid]
+                update(nid, headroom, usage, available, now)
+            return
         for nid in sorted(in_scope):
             snap = hosts[nid].snapshot()
-            self.view.update(
-                nid, snap.headroom, snap.usage, snap.available, self.sim.now
-            )
+            update(nid, snap.headroom, snap.usage, snap.available, now)
 
     def usage_with(self, task: Task) -> float:
         """Queue usage *as if* ``task`` were admitted — Algorithm H's

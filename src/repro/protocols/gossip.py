@@ -22,10 +22,10 @@ terms) but its per-message cost is a single unicast, not a flood.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..network.transport import Delivery
-from ..sim.kernel import PeriodicTimer
+from ..sim.kernel import PeriodicTimer, RoundMembership
 from .base import DiscoveryAgent, ProtocolContext
 
 __all__ = ["GossipAgent", "KIND_GOSSIP", "KIND_GOSSIP_ACK"]
@@ -58,7 +58,7 @@ class GossipAgent(DiscoveryAgent):
         self.interval = interval if interval is not None else self.DEFAULT_INTERVAL
         if self.interval <= 0:
             raise ValueError("gossip interval must be positive")
-        self._timer: Optional[PeriodicTimer] = None
+        self._timer: Optional[Union[PeriodicTimer, RoundMembership]] = None
         self.rounds = 0
         self.digests_merged = 0
 
@@ -67,6 +67,11 @@ class GossipAgent(DiscoveryAgent):
     def _start_protocol(self) -> None:
         self.transport.register(self.node_id, KIND_GOSSIP, self._on_gossip)
         self.transport.register(self.node_id, KIND_GOSSIP_ACK, self._on_ack)
+        if self.config.synchronized_rounds:
+            # one shared kernel event per gossip round; join order (= the
+            # runner's node-order agent starts) fixes the in-round order
+            self._timer = self.sim.shared_periodic(self.interval, self._round)
+            return
         n = max(len(self.ctx.all_nodes), 1)
         phase = (self.node_id % n) / n * self.interval
         self._timer = self.sim.periodic(self.interval, self._round, phase=phase)

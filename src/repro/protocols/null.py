@@ -26,7 +26,7 @@ class NullAgent(DiscoveryAgent):
     def _start_protocol(self) -> None:
         pass
 
-    def prime_view(self, hosts) -> None:
+    def prime_view(self, hosts, snapshots=None) -> None:
         """Knows nothing, even at t=0."""
 
     def candidates(self, task: Task, *, exclude: tuple = (), limit: int = 8) -> List[int]:

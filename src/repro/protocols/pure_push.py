@@ -13,10 +13,10 @@ of load — that is exactly why Figure 6 shows a flat, dominating overhead
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..core.messages import KIND_ADV, Advertisement
-from ..sim.kernel import PeriodicTimer
+from ..sim.kernel import PeriodicTimer, RoundMembership
 from .base import DiscoveryAgent, ProtocolContext
 
 __all__ = ["PurePushAgent"]
@@ -29,10 +29,17 @@ class PurePushAgent(DiscoveryAgent):
 
     def __init__(self, ctx: ProtocolContext) -> None:
         super().__init__(ctx)
-        self._timer: Optional[PeriodicTimer] = None
+        self._timer: Optional[Union[PeriodicTimer, RoundMembership]] = None
         self.advertisements_sent = 0
 
     def _start_protocol(self) -> None:
+        if self.config.synchronized_rounds:
+            # All pushers share one kernel event per round; agents start
+            # in node order, so join order is the canonical node order.
+            self._timer = self.sim.shared_periodic(
+                self.config.push_interval, self._advertise
+            )
+            return
         # Phase-stagger the periodic floods by node id so all 25 floods do
         # not land on the same instant (the paper's hosts are likewise
         # unsynchronised).  The offset is deterministic.

@@ -21,16 +21,28 @@ Cancellation is O(1) lazy: :meth:`Event.cancel` flips a flag and the kernel
 skips the record when it is popped.  This is the standard approach for
 simulations with many timer resets (REALTOR resets HELP timers constantly)
 because it avoids O(n) heap surgery.
+
+Lazy cancellation has one pathology at scale: a workload that cancels
+most of what it schedules (timer resets, queue withdrawals) leaves the
+heap dominated by dead entries, and every sift pays for them.
+:meth:`EventQueue.cancel_event` therefore counts tracked cancellations
+and :meth:`EventQueue.compact` rebuilds the heap — dropping every
+cancelled record in one O(n) pass — once dead entries exceed half the
+heap.  Compaction preserves the ``(time, priority, seq)`` keys, so pop
+order is untouched.
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 __all__ = ["Event", "EventQueue", "Priority"]
 
 _INF = float("inf")
+
+#: below this heap size compaction is never worth the rebuild
+_COMPACT_MIN_HEAP = 64
 
 
 class Priority:
@@ -120,7 +132,7 @@ class EventQueue:
     property-tested in isolation.
     """
 
-    __slots__ = ("_heap", "_next_seq", "_live")
+    __slots__ = ("_heap", "_next_seq", "_live", "_cancelled_pending")
 
     def __init__(self) -> None:
         # entries are (time, priority, seq, Event); seq uniqueness keeps
@@ -128,6 +140,11 @@ class EventQueue:
         self._heap: list[tuple] = []
         self._next_seq = 0
         self._live = 0
+        #: tracked-cancelled entries believed still on the heap (advisory:
+        #: raw ``Event.cancel`` calls are invisible, and pops through the
+        #: non-kernel helpers below do not decrement; it only drives the
+        #: compaction heuristic, never correctness)
+        self._cancelled_pending = 0
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events."""
@@ -201,6 +218,41 @@ class EventQueue:
                 continue
             return heap[0][0]
         return None
+
+    def cancel_event(self, ev: Event) -> None:
+        """Cancel ``ev`` with bookkeeping (preferred over ``ev.cancel()``).
+
+        Same O(1) lazy cancellation, plus the live count stays exact and
+        the dead-entry counter feeds the compaction heuristic: once
+        tracked-cancelled entries exceed half the heap the whole agenda
+        is rebuilt without them.  Components holding a kernel reference
+        should route cancels through :meth:`Simulator.cancel
+        <repro.sim.kernel.Simulator.cancel>`, which lands here.
+        """
+        if ev._cancelled:
+            return
+        ev.cancel()
+        if self._live > 0:
+            self._live -= 1
+        self._cancelled_pending += 1
+        if (
+            len(self._heap) >= _COMPACT_MIN_HEAP
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the heap without cancelled entries (O(n)).
+
+        Entry keys are unchanged, so pop order after compaction is
+        bit-identical to popping through the dead records.  The rebuild
+        is *in place* (slice assignment, never rebinding ``_heap``): the
+        kernel's hot loop aliases the heap list for the whole run, and a
+        rebind mid-run would strand it on the orphaned list.
+        """
+        self._heap[:] = [e for e in self._heap if not e[3]._cancelled]
+        heapify(self._heap)
+        self._cancelled_pending = 0
 
     def note_cancelled(self) -> None:
         """Account for an externally cancelled event.

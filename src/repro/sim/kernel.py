@@ -14,18 +14,39 @@ seed and the same component construction order produce bit-identical event
 sequences.  That property underpins the common-random-numbers comparison
 methodology used by the figure experiments and is asserted by property
 tests.
+
+Cohort batching (the single-run fast path): events sharing the full
+``(time, priority)`` key form a *cohort* and execute in seq order either
+way, so a component may register a batch hook for one of its callbacks
+(:meth:`Simulator.register_batch`) and receive a whole same-instant run
+of that callback's argument tuples in one call — one Python call for a
+10k-receiver flood instead of 10k loop iterations.  Only *consecutive*
+same-callback events are grouped, cancellations are honoured at drain
+time, and events a batch member schedules at the same instant carry
+later seqs (they run after the cohort, exactly as in the scalar path) —
+so the executed sequence, the trace, and ``events_executed`` are
+bit-identical to scalar execution.  That equivalence is pinned by
+``tests/sim/test_cohort_batching.py``; the profiled loop always runs
+scalar (exact per-event attribution), which doubles as the lockstep
+reference.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .events import _INF, Event, EventQueue, Priority
 from .rng import RandomStreams
 from .trace import Tracer
 
-__all__ = ["Simulator", "PeriodicTimer", "SimulationError"]
+__all__ = [
+    "Simulator",
+    "PeriodicTimer",
+    "RoundDriver",
+    "RoundMembership",
+    "SimulationError",
+]
 
 
 class SimulationError(RuntimeError):
@@ -90,12 +111,131 @@ class PeriodicTimer:
         """Cancel the timer; the callback never fires again."""
         self._stopped = True
         if self._event is not None:
-            self._event.cancel()
+            self.sim.cancel(self._event)
             self._event = None
 
     @property
     def stopped(self) -> bool:
         return self._stopped
+
+
+class RoundMembership:
+    """Handle returned by :meth:`RoundDriver.join` / ``shared_periodic``.
+
+    API-compatible with :class:`PeriodicTimer` for the lifecycle calls
+    protocols actually make (``stop()``, ``stopped``); the interval is
+    read-only — a member that needs to adapt its period must leave the
+    shared round and run a private timer.
+    """
+
+    __slots__ = ("driver", "_cell", "_stopped")
+
+    def __init__(self, driver: "RoundDriver", cell: List[Optional[Callable]]) -> None:
+        self.driver = driver
+        self._cell = cell
+        self._stopped = False
+
+    @property
+    def interval(self) -> float:
+        return self.driver.interval
+
+    def stop(self) -> None:
+        """Leave the round; the callback never fires again."""
+        if not self._stopped:
+            self._stopped = True
+            self._cell[0] = None
+            self.driver._note_leave()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+
+class RoundDriver:
+    """One kernel event per round shared by N same-interval members.
+
+    Per-node periodic timers are the dominant heap traffic of
+    synchronized protocol rounds at scale: 10k nodes on a 1 s period
+    push 10k heap entries per simulated second just to wake up.  A
+    round driver collapses that to a single self-rescheduling event;
+    members fire within the round in *join order* (callers join in node
+    order, making the canonical order explicit), which is exactly the
+    seq order N individual timers created in the same order would fire
+    in — so for phase-aligned timers the executed sequence is unchanged.
+
+    Members joining mid-run fire from the next shared round boundary
+    (the driver owns the round clock — that is the aggregation
+    contract).  Leaving is O(1) lazy; the member table compacts when
+    more than half the slots are dead.  A driver whose last member
+    leaves cancels its event and re-arms on the next join.
+    """
+
+    __slots__ = ("sim", "interval", "priority", "_members", "_live", "_event")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        *,
+        phase: float = 0.0,
+        priority: int = Priority.DEFAULT,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval = float(interval)
+        self.priority = priority
+        self._members: List[List[Optional[Callable[[], Any]]]] = []
+        self._live = 0
+        self._event: Optional[Event] = sim.after(
+            phase + self.interval, self._fire, priority=priority
+        )
+
+    @property
+    def members(self) -> int:
+        """Live member count (diagnostics)."""
+        return self._live
+
+    def join(self, fn: Callable[[], Any]) -> RoundMembership:
+        """Add ``fn`` to the round; it fires after every later boundary."""
+        if self._live == 0 and self._event is None:
+            # dormant driver: re-arm from now, like a fresh timer
+            self._event = self.sim.after(
+                self.interval, self._fire, priority=self.priority
+            )
+        # Each member lives in its own one-slot cell shared with the
+        # membership handle, so table compaction never invalidates a
+        # handle — stop() blanks the cell wherever it currently sits.
+        cell: List[Optional[Callable[[], Any]]] = [fn]
+        self._members.append(cell)
+        self._live += 1
+        return RoundMembership(self, cell)
+
+    def _note_leave(self) -> None:
+        self._live -= 1
+        if self._live == 0:
+            if self._event is not None:
+                self.sim.cancel(self._event)
+                self._event = None
+            self._members.clear()
+        elif len(self._members) > 8 and self._live * 2 < len(self._members):
+            # Join order is the canonical fire order; filtering preserves it.
+            self._members = [c for c in self._members if c[0] is not None]
+
+    def _fire(self) -> None:
+        if self._live == 0:
+            self._event = None
+            return
+        for cell in self._members:
+            fn = cell[0]
+            if fn is not None:
+                fn()
+        if self._live > 0:
+            self._event = self.sim.after(
+                self.interval, self._fire, priority=self.priority
+            )
+        else:
+            self._event = None
 
 
 class Simulator:
@@ -119,6 +259,12 @@ class Simulator:
         self._stop_requested = False
         self._events_executed = 0
         self._finalizers: List[Callable[[], None]] = []
+        #: scalar callback -> cohort hook (see :meth:`register_batch`);
+        #: an empty dict keeps the hot loop's batching probe one falsy test
+        self._batch_hooks: Dict[Callable[..., Any], Callable[[List[tuple]], Any]] = {}
+        self._batching = True
+        #: (interval, phase, priority) -> shared round driver
+        self._round_drivers: Dict[Tuple[float, float, int], RoundDriver] = {}
 
     # Clock ------------------------------------------------------------
 
@@ -201,9 +347,127 @@ class Simulator:
             priority=priority,
         )
 
+    def shared_periodic(
+        self,
+        interval: float,
+        fn: Callable[[], Any],
+        *,
+        phase: float = 0.0,
+        priority: int = Priority.DEFAULT,
+    ) -> RoundMembership:
+        """Join ``fn`` to the shared :class:`RoundDriver` for this cadence.
+
+        All callers with the same ``(interval, phase, priority)`` share
+        one kernel event per round and fire in join order — the timer
+        aggregation that keeps synchronized protocol rounds at one heap
+        entry per round instead of one per node.  Unlike
+        :meth:`periodic` there is no jitter and no per-member interval
+        mutation; members needing either keep a private timer.
+        """
+        key = (float(interval), float(phase), priority)
+        driver = self._round_drivers.get(key)
+        if driver is None:
+            driver = RoundDriver(self, interval, phase=phase, priority=priority)
+            self._round_drivers[key] = driver
+        return driver.join(fn)
+
+    def cancel(self, ev: Optional[Event]) -> None:
+        """Tracked cancel: O(1), exact live count, feeds heap compaction.
+
+        Components holding the kernel should prefer this over
+        ``Event.cancel()`` — both prevent the callback from firing, but
+        only the tracked path lets the agenda rebuild itself once
+        cancelled entries dominate (see :meth:`EventQueue.compact
+        <repro.sim.events.EventQueue.compact>`).  ``None`` is accepted so
+        call sites can pass an optional handle unguarded.
+        """
+        if ev is not None:
+            self.queue.cancel_event(ev)
+
     def add_finalizer(self, fn: Callable[[], None]) -> None:
-        """Register a callback that runs once when :meth:`run` returns."""
+        """Register a callback that runs once when :meth:`run` returns.
+
+        Finalizers are run-or-clear: they execute exactly once when the
+        surrounding :meth:`run` call ends, *including* when a callback
+        raises — and they are always cleared, so a later ``run`` never
+        replays finalizers queued for an earlier one.
+        """
         self._finalizers.append(fn)
+
+    # Cohort batching ----------------------------------------------------
+
+    def register_batch(
+        self,
+        fn: Callable[..., Any],
+        batch_fn: Callable[[List[tuple]], Any],
+    ) -> None:
+        """Install ``batch_fn`` as the cohort handler for callback ``fn``.
+
+        When the run loop pops an event whose callback equals ``fn`` and
+        the next agenda entries share its exact ``(time, priority)`` key
+        *and* callback, the whole consecutive run is drained in seq
+        order and handed to ``batch_fn`` as a list of argument tuples —
+        one call instead of N.  The contract on ``batch_fn``: it must be
+        observationally identical to ``for args in cohort: fn(*args)``,
+        re-checking any per-item guards (liveness, cancellation flags in
+        component state) exactly as the scalar body does, because
+        earlier items may mutate state later items depend on.
+
+        ``fn`` is matched by equality, so a bound method registers all
+        schedules of that method on that instance.  Batching applies to
+        the unprofiled loop only; profiled runs stay scalar for exact
+        per-event attribution (and serve as the lockstep reference).
+
+        One structural requirement: events of ``fn`` must never be
+        *cancelled by a same-cohort member* — the cohort's arguments are
+        captured when the cohort is drained, so a cancellation landing
+        mid-batch (which the scalar pop loop would honour) cannot be
+        seen.  Cancellations from anywhere else are honoured exactly.
+        Message deliveries satisfy this trivially: nothing holds their
+        event handles.
+        """
+        self._batch_hooks[fn] = batch_fn
+
+    def set_cohort_batching(self, enabled: bool) -> None:
+        """Force the scalar path (``False``) — for equivalence tests."""
+        self._batching = bool(enabled)
+
+    @property
+    def cohort_batching(self) -> bool:
+        return self._batching
+
+    def _drain_cohort(self, time: float, priority: int, ev: Event, budget) -> List[tuple]:
+        """Collect the consecutive same-``(time, priority, fn)`` cohort.
+
+        ``ev`` (already popped) leads the cohort; every following live
+        agenda entry with the identical key and an equal callback is
+        popped in seq order, up to ``budget`` items total.  Cancelled
+        records inside the run are discarded exactly as the scalar pop
+        loop would.  Shared by the plain and (potential future)
+        instrumented loops so the two can never drift.
+        """
+        queue = self.queue
+        heap = queue._heap
+        fn = ev.fn
+        cohort = [ev.args]
+        n = 1
+        while heap and n < budget:
+            top = heap[0]
+            if top[0] != time or top[1] != priority:
+                break
+            nxt = top[3]
+            if nxt._cancelled:
+                heappop(heap)
+                if queue._cancelled_pending > 0:
+                    queue._cancelled_pending -= 1
+                continue
+            if nxt.fn != fn:
+                break
+            heappop(heap)
+            queue._live -= 1
+            cohort.append(nxt.args)
+            n += 1
+        return cohort
 
     # Execution ----------------------------------------------------------
 
@@ -241,11 +505,14 @@ class Simulator:
         # method-call path, pinned by the golden-trace tests.
         queue = self.queue
         heap = queue._heap
+        hooks = self._batch_hooks if self._batching else None
         executed = 0
         try:
             while budget > 0 and not self._stop_requested:
                 while heap and heap[0][3]._cancelled:
                     heappop(heap)
+                    if queue._cancelled_pending > 0:
+                        queue._cancelled_pending -= 1
                 if not heap:
                     break
                 entry = heap[0]
@@ -255,6 +522,22 @@ class Simulator:
                 queue._live -= 1
                 ev = entry[3]
                 self._now = entry[0]
+                if hooks:
+                    batch_fn = hooks.get(ev.fn)
+                    if (
+                        batch_fn is not None
+                        and heap
+                        and heap[0][0] == entry[0]
+                        and heap[0][1] == entry[1]
+                    ):
+                        cohort = self._drain_cohort(
+                            entry[0], entry[1], ev, budget
+                        )
+                        batch_fn(cohort)
+                        n = len(cohort)
+                        executed += n
+                        budget -= n
+                        continue
                 ev.fn(*ev.args)
                 executed += 1
                 budget -= 1
@@ -263,9 +546,12 @@ class Simulator:
         finally:
             self._events_executed += executed
             self._running = False
-        for fn in self._finalizers:
-            fn()
-        self._finalizers.clear()
+            # Run-or-clear: finalizers fire exactly once per run() call,
+            # raising callback or not, and never leak into a later run.
+            finalizers = self._finalizers[:]
+            self._finalizers.clear()
+            for fn in finalizers:
+                fn()
         return self._now
 
     def _run_profiled(
@@ -293,6 +579,8 @@ class Simulator:
             while budget > 0 and not self._stop_requested:
                 while heap and heap[0][3]._cancelled:
                     heappop(heap)
+                    if queue._cancelled_pending > 0:
+                        queue._cancelled_pending -= 1
                 if not heap:
                     break
                 entry = heap[0]
@@ -313,9 +601,10 @@ class Simulator:
             profile.finish_run(perf_counter() - wall_start)
             self._events_executed += executed
             self._running = False
-        for fn in self._finalizers:
-            fn()
-        self._finalizers.clear()
+            finalizers = self._finalizers[:]
+            self._finalizers.clear()
+            for fn in finalizers:
+                fn()
         return self._now
 
     def stop(self) -> None:
