@@ -250,14 +250,22 @@ def bench_flood_scaling(topo, floods: int = 20) -> int:
     return transport.delivered_messages
 
 
-def _scaling_cell_config(nodes: int, horizon: float) -> ExperimentConfig:
-    """The tier's REALTOR cell: square torus, offered load 0.5."""
+def _scaling_cell_config(
+    nodes: int, horizon: float, obs: Optional[object] = None
+) -> ExperimentConfig:
+    """The tier's REALTOR cell: square torus, offered load 0.5.
+
+    ``obs`` (an :class:`~repro.obs.config.ObsConfig`) installs the
+    metrics registry + flight recorder — the obs-overhead gate's
+    enabled side; ``None`` keeps the byte-identical plain path.
+    """
     return ExperimentConfig(
         topology="torus",
         nodes=nodes,
         arrival_rate=0.5 * nodes / 5.0,  # load 0.5 at task_mean 5
         horizon=horizon,
         seed=1,
+        obs=obs,
     )
 
 

@@ -35,7 +35,7 @@ from ..workload.attack import AttackPlan, RandomFailures, RegionAttack, SweepAtt
 from .config import ExperimentConfig
 from .executor import execute_plan
 from .plan import ExperimentPlan, PlanCell
-from .runner import _build_topology, build_system, run_experiment
+from .runner import _attach_flight_dump, _build_topology, build_system, run_experiment
 
 if TYPE_CHECKING:  # pragma: no cover
     from .store import RunStore
@@ -140,7 +140,11 @@ def run_spec(cfg: ExperimentConfig, spec: ChaosSpec) -> RunResult:
             lambda: system.sim.streams.stream("attack"),
         )
         attack.install(system.faults)
-        system.run()
+        try:
+            system.run()
+        except Exception as exc:
+            _attach_flight_dump(system, exc)
+            raise
         return system.result()
     return run_experiment(cfg, make_attack(cfg, spec))
 

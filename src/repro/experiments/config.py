@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from ..network.impairments import ImpairmentConfig
+from ..obs.config import ObsConfig
 from ..protocols.base import ProtocolConfig
 
 __all__ = ["ExperimentConfig", "paper_config", "PAPER_LAMBDAS"]
@@ -97,6 +98,10 @@ class ExperimentConfig:
     seed: int = 1
     prime_views: bool = True
     trace: bool = False
+    #: run-wide metrics registry + flight recorder
+    #: (:class:`~repro.obs.config.ObsConfig`); ``None`` keeps the whole
+    #: observability layer uninstalled — that path is byte-identical
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         if self.arrival_rate <= 0:

@@ -41,9 +41,19 @@ __all__ = ["execute_plan", "run_cell", "CellExecutionError"]
 
 
 class CellExecutionError(RuntimeError):
-    """One or more plan cells failed; carries every (cell, message) pair."""
+    """One or more plan cells failed; carries every (cell, message) pair.
 
-    def __init__(self, failures: Sequence[Tuple[PlanCell, str]]) -> None:
+    ``dumps`` aligns with ``failures``: when the failing run had a
+    flight recorder enabled (``cfg.obs``), its crash dump — last-N
+    kernel events plus registry snapshots, with cell identity — rides
+    along as a plain dict; ``None`` otherwise.
+    """
+
+    def __init__(
+        self,
+        failures: Sequence[Tuple[PlanCell, str]],
+        dumps: Optional[Sequence[Optional[dict]]] = None,
+    ) -> None:
         cell, message = failures[0]
         cfg = cell.config
         text = (
@@ -52,6 +62,10 @@ class CellExecutionError(RuntimeError):
         )
         if len(failures) > 1:
             text += f" [+{len(failures) - 1} more failed cell(s)]"
+        self.dumps = list(dumps) if dumps is not None else [None] * len(failures)
+        attached = sum(1 for d in self.dumps if d is not None)
+        if attached:
+            text += f" [flight dump attached for {attached} cell(s)]"
         super().__init__(text)
         self.failures = list(failures)
 
@@ -66,11 +80,13 @@ def run_cell(cell: PlanCell) -> RunResult:
 
 
 class _CellOutcome(NamedTuple):
-    """Picklable worker verdict: result on success, else the error text."""
+    """Picklable worker verdict: result on success, else the error text
+    (plus the flight-recorder dump when the failing run carried one)."""
 
     index: int
     result: Optional[RunResult]
     error: Optional[str]
+    dump: Optional[dict] = None
 
 
 def _run_indexed(job: Tuple[int, PlanCell]) -> _CellOutcome:
@@ -78,7 +94,12 @@ def _run_indexed(job: Tuple[int, PlanCell]) -> _CellOutcome:
     try:
         return _CellOutcome(index, run_cell(cell), None)
     except Exception as exc:  # contained: reported via CellExecutionError
-        return _CellOutcome(index, None, f"{type(exc).__name__}: {exc}")
+        return _CellOutcome(
+            index,
+            None,
+            f"{type(exc).__name__}: {exc}",
+            getattr(exc, "flight_dump", None),
+        )
 
 
 def execute_plan(
@@ -109,10 +130,12 @@ def execute_plan(
         pending.append(i)
 
     failures: List[Tuple[PlanCell, str]] = []
+    failure_dumps: List[Optional[dict]] = []
 
     def finish(outcome: _CellOutcome) -> None:
         if outcome.error is not None:
             failures.append((cells[outcome.index], outcome.error))
+            failure_dumps.append(outcome.dump)
             return
         results[outcome.index] = outcome.result
         if store is not None:
@@ -146,5 +169,5 @@ def execute_plan(
     if store is not None:
         store.flush()
     if failures:
-        raise CellExecutionError(failures)
+        raise CellExecutionError(failures, dumps=failure_dumps)
     return results  # type: ignore[return-value]

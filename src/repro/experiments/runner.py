@@ -27,6 +27,8 @@ from ..network.transport import CostModel, Transport, UnicastCostMode
 from ..node.host import Host
 from ..node.state_arrays import NodeStateArrays
 from ..node.task import Task
+from ..obs.recorder import FlightRecorder, cell_identity
+from ..obs.registry import MetricsRegistry, install_run_probes
 from ..protocols.adaptive_pull import AdaptivePullAgent
 from ..protocols.base import DiscoveryAgent, ProtocolContext
 from ..protocols.registry import make_agent
@@ -115,6 +117,10 @@ class System:
     #: hosts built at t=0 write through, later joiners do not (their
     #: scalar state remains authoritative either way)
     state: Optional[NodeStateArrays] = None
+    #: run-wide metrics registry + flight recorder, installed only when
+    #: ``cfg.obs`` enables them (None keeps the run byte-identical)
+    registry: Optional[MetricsRegistry] = None
+    recorder: Optional[FlightRecorder] = None
 
     def run(self, until: Optional[float] = None, *, profile=None) -> float:
         """Drive the kernel to the horizon.
@@ -217,6 +223,14 @@ class System:
         vals = [a.view.mean_staleness(now) for a in self.agents.values()]
         return sum(vals) / len(vals) if vals else 0.0
 
+    def flight_dump(self, error: str) -> Optional[dict]:
+        """The recorder's crash dump for this system (None when off)."""
+        if self.recorder is None:
+            return None
+        return self.recorder.dump(
+            cell=cell_identity(self.cfg), sim=self.sim, error=error
+        )
+
     def result(self) -> RunResult:
         # actual wire traffic, next to the paper's weighted accounting:
         # the weighted totals charge every flood #links (the paper's
@@ -246,8 +260,36 @@ class System:
         if self.transport.impairments is not None:
             for key, value in self.transport.impairments.counters().items():
                 self.metrics.extra[f"impairment_{key}"] = float(value)
+        # Fast-path visibility: the profiled loop is always scalar, so
+        # these kernel counters are the only record of what the cohort
+        # batcher actually dispatched in this run.
+        cohort_stats = self.sim.cohort_stats()
+        self.metrics.extra["cohorts"] = float(cohort_stats["cohorts"])
+        self.metrics.extra["cohort_batched_events"] = float(
+            cohort_stats["batched_events"]
+        )
+        self.metrics.extra["cohort_batched_share"] = float(
+            cohort_stats["batched_share"]
+        )
+        series_payload = None
+        if self.registry is not None:
+            self.registry.finish()
+            if self.cfg.obs is None or self.cfg.obs.record_series:
+                series_payload = self.registry.to_payload()
+                series_payload["cohorts"] = {
+                    "cohorts": cohort_stats["cohorts"],
+                    "batched_events": cohort_stats["batched_events"],
+                    "batched_share": cohort_stats["batched_share"],
+                    "size_histogram": {
+                        str(size): count
+                        for size, count in cohort_stats["size_histogram"].items()
+                    },
+                }
         return self.metrics.result(
-            self.cfg.params(), self.sim.now, self.mean_help_interval()
+            self.cfg.params(),
+            self.sim.now,
+            self.mean_help_interval(),
+            series=series_payload,
         )
 
 
@@ -412,6 +454,35 @@ def build_system(cfg: ExperimentConfig) -> System:
         sim, arrivals, emit, faults.up_nodes, until=cfg.horizon
     )
 
+    # Observability layer: built last so its probes see every component,
+    # started so the t=0 baseline lands before any event fires.  The
+    # registry holds one shared-round heap entry at SAMPLING priority and
+    # touches no RNG stream, so enabling it changes no behaviour.
+    registry: Optional[MetricsRegistry] = None
+    recorder: Optional[FlightRecorder] = None
+    if cfg.obs is not None and cfg.obs.enabled:
+        registry = MetricsRegistry(
+            sim, interval=cfg.obs.effective_interval(cfg.horizon)
+        )
+        install_run_probes(
+            registry,
+            state=state,
+            collector=metrics,
+            transport=transport,
+            coordinator=coordinator,
+            admissions=admissions.values(),
+            agents=agents.values(),
+            stride=cfg.obs.agent_stride,
+            usage_bins=cfg.obs.usage_bins,
+        )
+        recorder = FlightRecorder(
+            max_events=cfg.obs.max_flight_events,
+            max_snapshots=cfg.obs.max_flight_snapshots,
+        )
+        recorder.attach_tracer(sim.trace)
+        registry.attach_recorder(recorder)
+        registry.start()
+
     return System(
         cfg=cfg,
         sim=sim,
@@ -425,6 +496,8 @@ def build_system(cfg: ExperimentConfig) -> System:
         metrics=metrics,
         generator=generator,
         state=state,
+        registry=registry,
+        recorder=recorder,
     )
 
 
@@ -442,5 +515,27 @@ def run_experiment(
     system = build_system(cfg)
     if attack is not None:
         attack.install(system.faults)
-    system.run(profile=profile)
+    try:
+        system.run(profile=profile)
+    except Exception as exc:
+        _attach_flight_dump(system, exc)
+        raise
     return system.result()
+
+
+def _attach_flight_dump(system: System, exc: BaseException) -> None:
+    """Pin the recorder's crash dump onto ``exc`` as ``flight_dump``.
+
+    The plan executor reads the attribute back via ``getattr`` so the
+    dump survives the trip through worker-process pickling as plain
+    data; exceptions that refuse attribute assignment lose the dump but
+    still propagate.
+    """
+    if system.recorder is None:
+        return
+    try:
+        exc.flight_dump = system.flight_dump(  # type: ignore[attr-defined]
+            f"{type(exc).__name__}: {exc}"
+        )
+    except AttributeError:  # slotted/extension exception type
+        pass

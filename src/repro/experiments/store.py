@@ -36,7 +36,7 @@ import dataclasses
 import hashlib
 import json
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..metrics.collector import RunResult
 from ..metrics.export import result_from_dict, result_to_dict
@@ -54,7 +54,8 @@ STORE_FORMAT = "repro-runstore/1"
 
 #: bump on any change that alters run semantics for identical configs
 #: 2: ProtocolConfig gained synchronized_rounds (digest shape changed)
-CODE_VERSION = "2"
+#: 3: ExperimentConfig gained obs; RunResult gained series + cohort extras
+CODE_VERSION = "3"
 
 
 def default_salt() -> str:
@@ -188,6 +189,16 @@ class RunStore:
     def get_record(self, digest: str) -> Optional[Dict[str, object]]:
         """The raw stored record (config + spec + result), uncounted."""
         return self._records.get(digest)
+
+    def digests(self) -> List[str]:
+        """Every stored digest, sorted (stable iteration for inspectors)."""
+        return sorted(self._records)
+
+    def records(self) -> Iterator[Tuple[str, Dict[str, object]]]:
+        """``(digest, raw record)`` pairs in digest order — the read-only
+        walk the inspector CLI renders reports from, zero simulation."""
+        for digest in sorted(self._records):
+            yield digest, self._records[digest]
 
     def put(
         self,

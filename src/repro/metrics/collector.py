@@ -40,6 +40,11 @@ class RunResult:
     response_time_mean: float
     help_interval_mean: Optional[float] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    #: sampled trajectories from the run's metrics registry (the
+    #: :meth:`MetricsRegistry.to_payload
+    #: <repro.obs.registry.MetricsRegistry.to_payload>` dict), or None
+    #: when the run's observability layer was off
+    series: Optional[Dict[str, object]] = None
 
     @property
     def admitted(self) -> int:
@@ -144,6 +149,7 @@ class MetricsCollector:
         params: Dict[str, object],
         horizon: float,
         help_interval_mean: Optional[float] = None,
+        series: Optional[Dict[str, object]] = None,
     ) -> RunResult:
         """Freeze the accumulated metrics into a :class:`RunResult`."""
         self.tasks.check_conservation()
@@ -167,4 +173,5 @@ class MetricsCollector:
             response_time_mean=self.response_time_mean,
             help_interval_mean=help_interval_mean,
             extra=dict(self.extra),
+            series=series,
         )

@@ -40,10 +40,16 @@ __all__ = [
     "load_sweep",
     "save_sweep_csv",
     "load_sweep_csv",
+    "series_rows",
+    "save_series_jsonl",
+    "load_series_jsonl",
+    "save_series_csv",
     "FORMAT_TAG",
+    "SERIES_FORMAT_TAG",
 ]
 
 FORMAT_TAG = "repro-sweep/1"
+SERIES_FORMAT_TAG = "repro-series/1"
 
 
 def canonical_rate(value: float) -> float:
@@ -78,7 +84,12 @@ _FIELDS = (
     "response_time_mean",
     "help_interval_mean",
     "extra",
+    "series",
 )
+
+#: fields absent from records written before they existed — loaded with a
+#: default instead of raising, so old stores/sweep files keep reading
+_OPTIONAL_FIELDS: Dict[str, object] = {"series": None}
 
 
 def result_to_dict(result: RunResult) -> Dict[str, object]:
@@ -88,10 +99,14 @@ def result_to_dict(result: RunResult) -> Dict[str, object]:
 
 def result_from_dict(data: Dict[str, object]) -> RunResult:
     """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
-    missing = [name for name in _FIELDS if name not in data]
+    missing = [
+        name for name in _FIELDS if name not in data and name not in _OPTIONAL_FIELDS
+    ]
     if missing:
         raise ValueError(f"result record missing fields: {missing}")
-    kwargs = {name: data[name] for name in _FIELDS}
+    kwargs = {
+        name: data.get(name, _OPTIONAL_FIELDS.get(name)) for name in _FIELDS
+    }
     return RunResult(**kwargs)  # type: ignore[arg-type]
 
 
@@ -144,7 +159,8 @@ def load_sweep(path: Union[str, Path]) -> Dict[str, Dict[float, RunResult]]:
 # CSV round-trip -----------------------------------------------------------
 
 #: RunResult fields whose values are mappings — JSON-encoded per cell
-_DICT_FIELDS = ("params", "messages_by_kind", "extra")
+#: (``series`` may be None; ``json.dumps(None)`` -> "null" round-trips)
+_DICT_FIELDS = ("params", "messages_by_kind", "extra", "series")
 
 #: integer-typed scalar fields (everything else scalar parses as float)
 _INT_FIELDS = (
@@ -153,6 +169,9 @@ _INT_FIELDS = (
 )
 
 _CSV_HEADER = ("protocol", "rate") + _FIELDS
+
+#: the pre-``series`` column layout, still accepted by the loader
+_CSV_HEADER_V1 = tuple(c for c in _CSV_HEADER if c != "series")
 
 
 def save_sweep_csv(
@@ -186,12 +205,16 @@ def load_sweep_csv(path: Union[str, Path]) -> Dict[str, Dict[float, RunResult]]:
     with Path(path).open(newline="") as fh:
         reader = csv.reader(fh)
         header = next(reader, None)
-        if header != list(_CSV_HEADER):
+        if header == list(_CSV_HEADER):
+            fields = _FIELDS
+        elif header == list(_CSV_HEADER_V1):
+            fields = tuple(f for f in _FIELDS if f != "series")
+        else:
             raise ValueError(f"not a sweep CSV (header {header!r})")
         for row in reader:
             proto, rate = row[0], canonical_rate(row[1])
             record: Dict[str, object] = {}
-            for name, cell in zip(_FIELDS, row[2:]):
+            for name, cell in zip(fields, row[2:]):
                 if name in _DICT_FIELDS:
                     record[name] = json.loads(cell)
                 elif cell == "":
@@ -202,3 +225,78 @@ def load_sweep_csv(path: Union[str, Path]) -> Dict[str, Dict[float, RunResult]]:
                     record[name] = float(cell)
             out.setdefault(proto, {})[rate] = result_from_dict(record)
     return out
+
+
+# Trajectory (RunResult.series) round-trip ----------------------------------
+
+
+def series_rows(payload: Dict[str, object]):
+    """Flatten a registry payload into ``(metric, t, v)`` rows.
+
+    ``payload`` is the :meth:`MetricsRegistry.to_payload
+    <repro.obs.registry.MetricsRegistry.to_payload>` dict carried on
+    ``RunResult.series``.  Rows come metric-sorted then time-ordered, so
+    both exporters below are deterministic.
+    """
+    series = payload.get("series", {}) if payload else {}
+    for metric in sorted(series):
+        track = series[metric]
+        for t, v in zip(track["t"], track["v"]):
+            yield metric, float(t), float(v)
+
+
+def save_series_jsonl(payload: Dict[str, object], path: Union[str, Path]) -> Path:
+    """Write one run's trajectories as JSONL: a header line, then one
+    key-sorted line per metric (``{"metric":..., "t":[...], "v":[...]}``)."""
+    path = Path(path)
+    series = payload.get("series", {}) if payload else {}
+    with path.open("w") as fh:
+        header = {
+            "format": SERIES_FORMAT_TAG,
+            "interval": payload.get("interval") if payload else None,
+            "ticks": payload.get("ticks") if payload else None,
+            "metrics": sorted(series),
+        }
+        fh.write(json.dumps(header, sort_keys=True, separators=(",", ":")) + "\n")
+        for metric in sorted(series):
+            track = series[metric]
+            line = {"metric": metric, "t": list(track["t"]), "v": list(track["v"])}
+            fh.write(json.dumps(line, sort_keys=True, separators=(",", ":")) + "\n")
+    return path
+
+
+def load_series_jsonl(path: Union[str, Path]) -> Dict[str, object]:
+    """Read :func:`save_series_jsonl` output back into a payload-shaped dict."""
+    series: Dict[str, object] = {}
+    header: Dict[str, object] = {}
+    with Path(path).open() as fh:
+        first = fh.readline()
+        header = json.loads(first) if first.strip() else {}
+        if header.get("format") != SERIES_FORMAT_TAG:
+            raise ValueError(
+                f"not a {SERIES_FORMAT_TAG} file: {header.get('format')!r}"
+            )
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            series[rec["metric"]] = {"t": rec["t"], "v": rec["v"]}
+    return {
+        "format": "repro-registry/1",
+        "interval": header.get("interval"),
+        "ticks": header.get("ticks"),
+        "series": series,
+        "histograms": {},
+    }
+
+
+def save_series_csv(payload: Dict[str, object], path: Union[str, Path]) -> Path:
+    """Write one run's trajectories as a flat ``metric,t,v`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(("metric", "t", "v"))
+        for metric, t, v in series_rows(payload):
+            writer.writerow((metric, repr(t), repr(v)))
+    return path

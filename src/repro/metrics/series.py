@@ -9,7 +9,7 @@ hpc-parallel guideline: vectorise the analysis, keep the hot loop lean).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +22,10 @@ __all__ = ["TimeSeries", "Sampler"]
 class TimeSeries:
     """Append-only (time, value) series backed by NumPy buffers."""
 
+    # slots: the metrics registry appends to ~20 of these per sampling
+    # tick on the hot path; fixed attribute offsets keep that cheap
+    __slots__ = ("name", "_t", "_v", "_n")
+
     def __init__(self, name: str = "", initial_capacity: int = 256) -> None:
         self.name = name
         self._t = np.empty(initial_capacity, dtype=np.float64)
@@ -30,8 +34,17 @@ class TimeSeries:
 
     def append(self, t: float, v: float) -> None:
         if self._n == self._t.shape[0]:
-            self._t = np.resize(self._t, self._n * 2)
-            self._v = np.resize(self._v, self._n * 2)
+            # Explicit grow-and-copy: ``np.resize`` fills the tail by
+            # *repeating* the existing data, which silently duplicates
+            # samples into the uninitialised region if anything ever
+            # reads past ``_n``.  An empty buffer plus one copy keeps the
+            # tail garbage-but-unreachable, like a list's growth.
+            grown_t = np.empty(self._n * 2, dtype=np.float64)
+            grown_v = np.empty(self._n * 2, dtype=np.float64)
+            grown_t[: self._n] = self._t
+            grown_v[: self._n] = self._v
+            self._t = grown_t
+            self._v = grown_v
         self._t[self._n] = t
         self._v[self._n] = v
         self._n += 1
@@ -41,13 +54,29 @@ class TimeSeries:
 
     @property
     def times(self) -> np.ndarray:
+        """View (not a copy) of the recorded sample times."""
         return self._t[: self._n]
 
     @property
     def values(self) -> np.ndarray:
+        """View (not a copy) of the recorded sample values."""
         return self._v[: self._n]
 
+    def last(self) -> float:
+        """Most recent value (0.0 on an empty series)."""
+        return float(self._v[self._n - 1]) if self._n else 0.0
+
     # Analysis ---------------------------------------------------------------
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the values (0.0 on an empty series)."""
+        return float(np.percentile(self.values, q)) if self._n else 0.0
+
+    def percentiles(self, qs: Sequence[float]) -> np.ndarray:
+        """Several percentiles in one pass over the value view."""
+        if not self._n:
+            return np.zeros(len(qs), dtype=np.float64)
+        return np.percentile(self.values, qs)
 
     def mean(self) -> float:
         return float(self.values.mean()) if self._n else 0.0
@@ -95,10 +124,14 @@ class Sampler:
         self.series: Dict[str, TimeSeries] = {}
         self._probes: Dict[str, Callable[[], float]] = {}
         # SAMPLING priority: samples observe post-event state at their
-        # timestamp (completions, admissions and messages all fire first)
-        from ..sim.events import Priority
-
-        self._timer = sim.periodic(interval, self._sample, priority=Priority.SAMPLING)
+        # timestamp (completions, admissions and messages all fire first).
+        # Joining the shared round driver keeps every same-cadence sampler
+        # on ONE heap entry per tick instead of one per sampler, and
+        # stop() leaves through the tracked-cancellation path so the
+        # agenda can compact the dead entry.
+        self._timer = sim.shared_periodic(
+            interval, self._sample, priority=Priority.SAMPLING
+        )
 
     def watch(self, name: str, probe: Callable[[], float]) -> TimeSeries:
         """Register a probe; its registration-time value is sampled

@@ -16,10 +16,27 @@ inspectable after the fact and while they happen:
   hop counts;
 * :mod:`repro.obs.telemetry` — live progress/ETA and per-protocol
   rolling summaries for long sweeps (``python -m repro.experiments
-  --observe``).
+  --observe``);
+* :mod:`repro.obs.registry` — the run-wide metrics registry: counters,
+  gauges, histograms and vectorized node-state samplers recorded as
+  per-run time series on one shared kernel heap entry;
+* :mod:`repro.obs.recorder` — the flight recorder: last-N event and
+  registry-snapshot rings, dumped with cell identity on run exceptions;
+* :mod:`repro.obs.inspect` — survivability reports over a warm
+  :class:`~repro.experiments.store.RunStore` with zero simulation
+  (``python -m repro.obs inspect/diff/timeline`` is the CLI).
 """
 
+from .config import ObsConfig
 from .profiler import KernelProfiler, ProfileReport
+from .recorder import FlightRecorder, cell_identity
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    install_run_probes,
+)
 from .sinks import CallbackSink, JsonLinesSink, NullSink, record_to_json
 from .spans import (
     HelpSpan,
@@ -41,4 +58,12 @@ __all__ = [
     "build_help_spans",
     "build_placement_spans",
     "ProgressReporter",
+    "ObsConfig",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "install_run_probes",
+    "FlightRecorder",
+    "cell_identity",
 ]

@@ -1,0 +1,124 @@
+"""The flight recorder: last-N event and metric rings for crash forensics.
+
+A failed cell deep inside a thousand-run sweep used to surface as one
+line of exception text — everything the simulation knew at the moment of
+death was gone.  The :class:`FlightRecorder` keeps two bounded rings:
+
+* the last N :class:`~repro.sim.trace.TraceRecord` s, captured by
+  attaching as a streaming sink on the run's
+  :class:`~repro.sim.trace.Tracer` (so it sees every record even past
+  the tracer's in-memory cap, and costs nothing when tracing is off);
+* the last M :class:`~repro.obs.registry.MetricsRegistry` snapshots —
+  one ``{metric: value}`` dict per sampling tick.
+
+On a run exception, :meth:`dump` freezes both rings plus the cell
+identity and kernel state into one JSON-ready (and picklable) dict;
+:func:`repro.experiments.runner.run_experiment` attaches it to the
+raised exception as ``flight_dump`` and the plan executor carries it
+across the process-pool boundary onto
+:class:`~repro.experiments.executor.CellExecutionError`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from ..sim.trace import TraceRecord, Tracer
+from .sinks import record_to_json
+
+__all__ = ["FlightRecorder", "cell_identity", "FLIGHT_FORMAT"]
+
+FLIGHT_FORMAT = "repro-flight/1"
+
+
+def cell_identity(cfg) -> Dict[str, object]:
+    """The naming fields of one experiment cell, for dumps and reports."""
+    return {
+        "protocol": cfg.protocol,
+        "lambda": cfg.arrival_rate,
+        "seed": cfg.seed,
+        "nodes": cfg.num_nodes,
+        "horizon": cfg.horizon,
+        "topology": cfg.topology,
+    }
+
+
+class FlightRecorder:
+    """Bounded rings of recent kernel events and registry snapshots."""
+
+    def __init__(self, *, max_events: int = 256, max_snapshots: int = 8) -> None:
+        if max_events < 1 or max_snapshots < 1:
+            raise ValueError("ring sizes must be >= 1")
+        self.max_events = int(max_events)
+        self.max_snapshots = int(max_snapshots)
+        self.events: Deque[TraceRecord] = deque(maxlen=self.max_events)
+        self.snapshots: Deque[Tuple[float, Dict[str, float]]] = deque(
+            maxlen=self.max_snapshots
+        )
+        self._tracer: Optional[Tracer] = None
+        #: total records seen (so a dump reports how much scrolled away)
+        self.events_seen = 0
+        self.snapshots_seen = 0
+
+    # Tracer-sink protocol ----------------------------------------------
+
+    def __call__(self, rec: TraceRecord) -> None:
+        self.events.append(rec)
+        self.events_seen += 1
+
+    def attach_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Start ringing ``tracer``'s stream (no-op when tracing is off).
+
+        Only an *enabled* tracer is tapped: a disabled tracer never
+        emits, so attaching would only pin a dead reference.
+        """
+        if tracer is not None and tracer.enabled:
+            tracer.add_sink(self)
+            self._tracer = tracer
+
+    def detach(self) -> None:
+        if self._tracer is not None:
+            self._tracer.remove_sink(self)
+            self._tracer = None
+
+    # Registry hook ------------------------------------------------------
+
+    def record_snapshot(self, now: float, metrics: Dict[str, float]) -> None:
+        """One registry tick's ``{metric: latest value}`` snapshot."""
+        self.snapshots.append((float(now), metrics))
+        self.snapshots_seen += 1
+
+    # Forensics ----------------------------------------------------------
+
+    def dump(
+        self,
+        *,
+        cell: Optional[Dict[str, object]] = None,
+        sim=None,
+        error: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Freeze both rings into one JSON-ready, picklable dict.
+
+        Trace payloads may hold arbitrary objects; each ringed record is
+        routed through :func:`~repro.obs.sinks.record_to_json` (which
+        stringifies anything non-JSON) so the dump always serialises and
+        always crosses a process-pool boundary.
+        """
+        events = [json.loads(record_to_json(rec)) for rec in self.events]
+        return {
+            "format": FLIGHT_FORMAT,
+            "cell": dict(cell) if cell is not None else None,
+            "error": error,
+            "sim_time": float(sim.now) if sim is not None else None,
+            "events_executed": (
+                int(sim.events_executed) if sim is not None else None
+            ),
+            "events": events,
+            "events_seen": self.events_seen,
+            "snapshots": [
+                {"t": t, "metrics": dict(metrics)} for t, metrics in self.snapshots
+            ],
+            "snapshots_seen": self.snapshots_seen,
+        }

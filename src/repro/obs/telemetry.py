@@ -138,9 +138,14 @@ class ProgressReporter:
 
     def _line(self, cfg: object, result: RunResult, protocol: str, now: float) -> str:
         elapsed = now - (self._started_at if self._started_at is not None else now)
+        # ETA projects per-*simulated*-run cost: cache hits are ~free, so
+        # counting them in the denominator makes a resumed sweep promise
+        # hours of work it will serve from the store in seconds (a 100%-
+        # cache resume projects 0, not elapsed-scaled nonsense).
+        simulated = self.completed - self.cached
         eta = (
-            elapsed / self.completed * (self.total - self.completed)
-            if self.completed
+            elapsed / simulated * (self.total - self.completed)
+            if simulated > 0
             else 0.0
         )
         rate = getattr(cfg, "arrival_rate", result.params.get("lambda", "?"))

@@ -138,3 +138,105 @@ class TestCsvRoundTrip:
         assert describe_result(loaded["realtor"][7.0]) == describe_result(
             sweep["realtor"][7.0]
         )
+
+
+class TestSeriesField:
+    """``RunResult.series`` through every serialisation path."""
+
+    @pytest.fixture(scope="class")
+    def obs_result(self):
+        from repro.experiments.runner import run_experiment
+        from repro.obs.config import ObsConfig
+
+        cfg = ExperimentConfig(
+            horizon=30.0, obs=ObsConfig(samples_target=8, agent_stride=4)
+        )
+        return run_experiment(cfg)
+
+    def test_dict_round_trip_keeps_series(self, obs_result):
+        rebuilt = result_from_dict(result_to_dict(obs_result))
+        assert rebuilt == obs_result
+        assert rebuilt.series["series"]["nodes_live"]["t"] == (
+            obs_result.series["series"]["nodes_live"]["t"]
+        )
+
+    def test_old_record_without_series_loads_as_none(self, sweep):
+        # records written before the series field existed must keep loading
+        data = result_to_dict(sweep["realtor"][3.0])
+        del data["series"]
+        rebuilt = result_from_dict(data)
+        assert rebuilt.series is None
+
+    def test_csv_round_trip_keeps_series(self, obs_result, tmp_path):
+        path = save_sweep_csv({"realtor": {5.0: obs_result}}, tmp_path / "s.csv")
+        loaded = load_sweep_csv(path)
+        assert loaded["realtor"][5.0] == obs_result
+
+    def test_legacy_csv_header_still_loads(self, sweep, tmp_path):
+        import csv as csv_mod
+
+        from repro.metrics.export import _CSV_HEADER, _CSV_HEADER_V1
+
+        path = save_sweep_csv(sweep, tmp_path / "old.csv")
+        rows = list(csv_mod.reader(path.open(newline="")))
+        assert rows[0] == list(_CSV_HEADER)
+        idx = rows[0].index("series")
+        legacy = [[c for i, c in enumerate(row) if i != idx] for row in rows]
+        assert legacy[0] == list(_CSV_HEADER_V1)
+        old = tmp_path / "v1.csv"
+        with old.open("w", newline="") as fh:
+            csv_mod.writer(fh).writerows(legacy)
+        loaded = load_sweep_csv(old)
+        assert loaded["realtor"][3.0].series is None
+        assert loaded["realtor"][3.0].generated == sweep["realtor"][3.0].generated
+
+
+class TestSeriesFiles:
+    """The trajectory JSONL/CSV exporters behind ``--jsonl``/``--csv``."""
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        from repro.experiments.runner import run_experiment
+        from repro.obs.config import ObsConfig
+
+        cfg = ExperimentConfig(
+            horizon=30.0, obs=ObsConfig(samples_target=8, agent_stride=4)
+        )
+        return run_experiment(cfg).series
+
+    def test_jsonl_round_trip(self, payload, tmp_path):
+        from repro.metrics.export import load_series_jsonl, save_series_jsonl
+
+        path = save_series_jsonl(payload, tmp_path / "series.jsonl")
+        loaded = load_series_jsonl(path)
+        assert sorted(loaded["series"]) == sorted(payload["series"])
+        for name, track in payload["series"].items():
+            assert loaded["series"][name]["t"] == list(track["t"])
+            assert loaded["series"][name]["v"] == list(track["v"])
+        assert loaded["ticks"] == payload["ticks"]
+
+    def test_jsonl_is_byte_deterministic(self, payload, tmp_path):
+        from repro.metrics.export import save_series_jsonl
+
+        a = save_series_jsonl(payload, tmp_path / "a.jsonl")
+        b = save_series_jsonl(payload, tmp_path / "b.jsonl")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_jsonl_wrong_format_rejected(self, tmp_path):
+        from repro.metrics.export import load_series_jsonl
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"format":"something-else"}\n')
+        with pytest.raises(ValueError):
+            load_series_jsonl(bad)
+
+    def test_csv_rows_sorted_and_complete(self, payload, tmp_path):
+        from repro.metrics.export import save_series_csv
+
+        path = save_series_csv(payload, tmp_path / "series.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "metric,t,v"
+        metrics = [line.split(",")[0] for line in lines[1:]]
+        assert metrics == sorted(metrics)
+        total = sum(len(track["t"]) for track in payload["series"].values())
+        assert len(lines) - 1 == total

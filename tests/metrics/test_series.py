@@ -48,6 +48,46 @@ class TestTimeSeries:
             ts.append(float(t), v)
         assert ts.crossings(0.9) == 4
 
+    def test_growth_preserves_data_across_many_doublings(self):
+        # regression: np.resize fills the grown tail by *repeating* the
+        # data; the explicit grow-and-copy must keep every sample intact
+        ts = TimeSeries("x", initial_capacity=1)
+        n = 1000  # 1 -> 1024 is ten doublings
+        for i in range(n):
+            ts.append(float(i), float(i) * 0.5)
+        assert len(ts) == n
+        assert ts.times.tolist() == [float(i) for i in range(n)]
+        assert ts.values.tolist() == [float(i) * 0.5 for i in range(n)]
+
+    def test_views_share_memory_with_buffer(self):
+        ts = TimeSeries()
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 2.0)
+        v = ts.values
+        assert v.base is ts._v  # a view, not a copy
+        assert ts.times.base is ts._t
+
+    def test_last(self):
+        ts = TimeSeries()
+        assert ts.last() == 0.0
+        ts.append(0.0, 3.0)
+        ts.append(1.0, 7.0)
+        assert ts.last() == 7.0
+
+    def test_percentile_accessors(self):
+        ts = TimeSeries()
+        for i in range(101):
+            ts.append(float(i), float(i))
+        assert ts.percentile(50.0) == pytest.approx(50.0)
+        assert ts.percentile(90.0) == pytest.approx(90.0)
+        p = ts.percentiles((50.0, 90.0, 100.0))
+        assert p.tolist() == pytest.approx([50.0, 90.0, 100.0])
+
+    def test_percentiles_empty(self):
+        ts = TimeSeries()
+        assert ts.percentile(50.0) == 0.0
+        assert ts.percentiles((10.0, 90.0)).tolist() == [0.0, 0.0]
+
 
 class TestSampler:
     def test_periodic_sampling(self):
@@ -86,3 +126,28 @@ class TestSampler:
     def test_interval_validation(self):
         with pytest.raises(ValueError):
             Sampler(Simulator(), interval=0.0)
+
+    def test_same_cadence_samplers_share_one_heap_entry(self):
+        # Sampler rides Simulator.shared_periodic: N same-cadence
+        # samplers must cost one agenda entry per tick, not N
+        sim = Simulator()
+        samplers = [Sampler(sim, interval=5.0) for _ in range(4)]
+        for i, s in enumerate(samplers):
+            s.watch(f"x{i}", lambda: 1.0)
+        before = sim.events_executed
+        sim.run(until=20.0)
+        fired = sim.events_executed - before
+        # ticks at 5, 10, 15, 20 -> 4 shared firings regardless of count
+        assert fired == 4
+        for i, s in enumerate(samplers):
+            assert len(s.get(f"x{i}")) == 5  # watch-instant + 4 ticks
+
+    def test_stop_uses_tracked_cancellation(self):
+        sim = Simulator()
+        sampler = Sampler(sim, interval=1.0)
+        sampler.watch("x", lambda: 1.0)
+        sampler.stop()
+        assert sampler._timer.stopped
+        before = len(sampler.get("x"))
+        sim.run(until=10.0)
+        assert len(sampler.get("x")) == before  # no further samples

@@ -102,7 +102,17 @@ class TestProfiledRun:
         )
         plain = run_experiment(cfg)
         profiled = run_experiment(cfg, profile=KernelProfiler())
-        assert profiled == plain
+        import dataclasses
+
+        d_plain = dataclasses.asdict(plain)
+        d_profiled = dataclasses.asdict(profiled)
+        # cohort_* extras are dispatch accounting, not simulation output:
+        # the profiled loop is always scalar, so its counts are zero
+        for d in (d_plain, d_profiled):
+            for key in list(d["extra"]):
+                if key.startswith("cohort"):
+                    del d["extra"][key]
+        assert d_profiled == d_plain
 
     def test_profile_respects_until_and_max_events(self):
         sim = Simulator(seed=1)

@@ -1,0 +1,158 @@
+"""Tests for the flight recorder and its exception/executor plumbing."""
+
+import json
+import pickle
+
+import pytest
+
+import repro.experiments.executor as executor_mod
+import repro.experiments.runner as runner_mod
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import CellExecutionError, execute_plan
+from repro.experiments.plan import sweep_plan
+from repro.experiments.runner import build_system, run_experiment
+from repro.experiments.store import RunStore
+from repro.obs.config import ObsConfig
+from repro.obs.recorder import FLIGHT_FORMAT, FlightRecorder, cell_identity
+from repro.sim.trace import TraceRecord, Tracer
+
+
+BASE = dict(
+    protocol="realtor",
+    nodes=25,
+    topology="mesh",
+    arrival_rate=4.0,
+    horizon=30.0,
+    seed=7,
+)
+
+
+def _rec(i: int) -> TraceRecord:
+    return TraceRecord(time=float(i), category="test", payload={"i": i})
+
+
+class TestRings:
+    def test_event_ring_bounded_with_seen_total(self):
+        rec = FlightRecorder(max_events=4, max_snapshots=2)
+        for i in range(10):
+            rec(_rec(i))
+        assert len(rec.events) == 4
+        assert rec.events_seen == 10
+        assert [r.payload["i"] for r in rec.events] == [6, 7, 8, 9]
+
+    def test_snapshot_ring_bounded(self):
+        rec = FlightRecorder(max_events=4, max_snapshots=2)
+        for i in range(5):
+            rec.record_snapshot(float(i), {"m": float(i)})
+        assert len(rec.snapshots) == 2
+        assert rec.snapshots_seen == 5
+        assert [t for t, _ in rec.snapshots] == [3.0, 4.0]
+
+    def test_ring_size_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(max_events=0)
+
+    def test_attach_skips_disabled_tracer(self):
+        rec = FlightRecorder()
+        tracer = Tracer(enabled=False)
+        rec.attach_tracer(tracer)
+        assert rec._tracer is None
+
+    def test_attach_taps_enabled_tracer_and_detach(self):
+        rec = FlightRecorder()
+        tracer = Tracer(enabled=True)
+        rec.attach_tracer(tracer)
+        tracer.emit(0.0, "test", x=1)
+        assert rec.events_seen == 1
+        rec.detach()
+        tracer.emit(1.0, "test", x=2)
+        assert rec.events_seen == 1
+
+
+class TestDump:
+    def test_dump_structure_json_and_pickle_clean(self):
+        rec = FlightRecorder(max_events=2)
+        for i in range(3):
+            rec(_rec(i))
+        rec.record_snapshot(2.0, {"nodes_live": 25.0})
+        cfg = ExperimentConfig(**BASE)
+        dump = rec.dump(cell=cell_identity(cfg), error="boom")
+        assert dump["format"] == FLIGHT_FORMAT
+        assert dump["cell"]["protocol"] == "realtor"
+        assert dump["cell"]["seed"] == 7
+        assert dump["error"] == "boom"
+        assert dump["events_seen"] == 3
+        assert len(dump["events"]) == 2
+        assert dump["snapshots"] == [
+            {"t": 2.0, "metrics": {"nodes_live": 25.0}}
+        ]
+        json.dumps(dump)
+        pickle.loads(pickle.dumps(dump))
+
+    def test_dump_stringifies_non_json_payloads(self):
+        rec = FlightRecorder()
+        rec(TraceRecord(time=0.0, category="x", payload={"obj": object()}))
+        dump = rec.dump()
+        json.dumps(dump)  # the object became a string somewhere en route
+
+
+class TestRunnerPlumbing:
+    def test_run_exception_attaches_flight_dump(self, monkeypatch):
+        orig_run = runner_mod.System.run
+
+        def failing_run(self, **kwargs):
+            orig_run(self, until=5.0)
+            raise RuntimeError("induced mid-run failure")
+
+        monkeypatch.setattr(runner_mod.System, "run", failing_run)
+        cfg = ExperimentConfig(**BASE, obs=ObsConfig())
+        with pytest.raises(RuntimeError) as err:
+            run_experiment(cfg)
+        dump = err.value.flight_dump
+        assert dump["format"] == FLIGHT_FORMAT
+        assert dump["cell"]["seed"] == BASE["seed"]
+        assert "induced mid-run failure" in dump["error"]
+        assert dump["sim_time"] == 5.0
+        assert dump["snapshots"]  # the registry ticked before the crash
+
+    def test_no_dump_without_obs(self, monkeypatch):
+        def failing_run(self, **kwargs):
+            raise RuntimeError("early failure")
+
+        monkeypatch.setattr(runner_mod.System, "run", failing_run)
+        with pytest.raises(RuntimeError) as err:
+            run_experiment(ExperimentConfig(**BASE))
+        assert getattr(err.value, "flight_dump", None) is None
+
+    def test_flight_dump_method_none_when_recorder_off(self):
+        system = build_system(ExperimentConfig(**BASE))
+        assert system.flight_dump("x") is None
+
+
+class TestExecutorPlumbing:
+    def test_cell_execution_error_carries_dumps(self, tmp_path, monkeypatch):
+        def failing(cfg):
+            exc = RuntimeError("cell died")
+            exc.flight_dump = {"format": FLIGHT_FORMAT, "error": "cell died"}
+            raise exc
+
+        monkeypatch.setattr(executor_mod, "run_experiment", failing)
+        base = ExperimentConfig(**BASE)
+        plan = sweep_plan(["realtor"], [3.0], base)
+        with pytest.raises(CellExecutionError) as err:
+            execute_plan(plan, store=RunStore(tmp_path))
+        assert len(err.value.dumps) == len(err.value.failures) == 1
+        assert err.value.dumps[0]["format"] == FLIGHT_FORMAT
+        assert "flight dump attached" in str(err.value)
+
+    def test_message_unchanged_without_dumps(self, tmp_path, monkeypatch):
+        def failing(cfg):
+            raise RuntimeError("plain failure")
+
+        monkeypatch.setattr(executor_mod, "run_experiment", failing)
+        base = ExperimentConfig(**BASE)
+        plan = sweep_plan(["realtor"], [3.0], base)
+        with pytest.raises(CellExecutionError) as err:
+            execute_plan(plan, store=RunStore(tmp_path))
+        assert err.value.dumps == [None]
+        assert "flight dump" not in str(err.value)

@@ -1,0 +1,104 @@
+"""Byte-stable JSONL traces and span reconstruction at the 2500-node tier.
+
+The scaling tiers are where cohort batching actually fires, so these
+tests pin the observability contract at scale: identical runs stream
+byte-identical JSONL trace files (batching on), an obs-enabled run
+streams the same bytes as an obs-less one, and the file round-trips into
+records that reconstruct the same HELP/placement spans as the in-memory
+trace.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_system
+from repro.obs.config import ObsConfig
+from repro.obs.inspect import load_trace_jsonl
+from repro.obs.sinks import JsonLinesSink
+from repro.obs.spans import build_help_spans, build_placement_spans
+
+
+def _tier_config(obs=None) -> ExperimentConfig:
+    # mirrors the cohort-batching tier cell: load against a small queue
+    # keeps HELP floods and migrations active from the first second
+    return ExperimentConfig(
+        protocol="realtor",
+        topology="torus",
+        nodes=2500,
+        arrival_rate=750.0,
+        queue_capacity=12.0,
+        horizon=4.0,
+        seed=11,
+        trace=True,
+        obs=obs,
+    )
+
+
+def _traced_to_file(path, obs=None):
+    """Run the tier cell streaming its trace to ``path``; return the system."""
+    system = build_system(_tier_config(obs=obs))
+    assert system.sim.cohort_batching
+    system.sim.trace.add_sink(JsonLinesSink(path, buffer_records=4096))
+    system.run()
+    system.result()
+    system.sim.trace.close_sinks()
+    return system
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "baseline.jsonl"
+    system = _traced_to_file(path)
+    return path, system
+
+
+class TestByteStability:
+    def test_repeat_run_streams_identical_bytes(self, baseline, tmp_path):
+        path_a, system = baseline
+        # the batched fast path must actually be exercising cohorts here,
+        # otherwise this tier proves nothing about batching
+        stats = system.sim.cohort_stats()
+        assert stats["cohorts"] > 100
+        assert stats["batched_events"] > 1000
+        path_b = tmp_path / "repeat.jsonl"
+        _traced_to_file(path_b)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_obs_enabled_run_streams_identical_bytes(self, baseline, tmp_path):
+        path_a, _ = baseline
+        path_b = tmp_path / "obs.jsonl"
+        system = _traced_to_file(
+            path_b, obs=ObsConfig(samples_target=8, agent_stride=4)
+        )
+        assert system.registry is not None  # obs really was on
+        assert system.recorder.snapshots_seen > 0
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+
+class TestSpanReconstruction:
+    def test_file_round_trips_to_in_memory_records(self, baseline):
+        path, system = baseline
+        from_file = load_trace_jsonl(path)
+        in_memory = list(system.sim.trace.records)
+        assert len(from_file) == len(in_memory)
+        for a, b in zip(from_file, in_memory):
+            assert (a.time, a.category, a.payload) == (
+                b.time, b.category, b.payload,
+            )
+
+    def test_spans_rebuild_from_file(self, baseline):
+        path, system = baseline
+        records = load_trace_jsonl(path)
+        helps = build_help_spans(records)
+        places = build_placement_spans(records)
+        # an overloaded 2500-node tier floods constantly
+        assert len(helps) > 50
+        assert any(s.answered for s in helps)
+        assert len(places) > 100
+        assert any(s.settled for s in places)
+        # spans from the file match spans from the in-memory trace
+        mem_helps = build_help_spans(list(system.sim.trace.records))
+        assert len(helps) == len(mem_helps)
+        assert sum(s.answered for s in helps) == sum(
+            s.answered for s in mem_helps
+        )

@@ -97,6 +97,37 @@ class TestProgressReporter:
         with pytest.raises(ValueError):
             ProgressReporter(0)
 
+    def test_eta_ignores_cached_cells(self):
+        # pinning: ETA must project per-*simulated*-run cost. A resumed
+        # sweep whose first cells are cache hits used to fold their ~0s
+        # into the average and promise absurd ETAs.
+        out = io.StringIO()
+        clock = FakeClock()
+        rep = ProgressReporter(4, stream=out, clock=clock)
+        cfg = ExperimentConfig(protocol="realtor", arrival_rate=5.0)
+        clock.t = 0.0
+        rep.update(cfg, make_result(), cached=True)
+        lines = out.getvalue().splitlines()
+        # no simulated run yet -> nothing to project from
+        assert "eta=0.0s" in lines[0]
+        assert "cached=1" in lines[0]
+        clock.t = 10.0
+        rep.update(cfg, make_result())  # first *simulated* run: 10s
+        clock.t = 20.0
+        rep.update(cfg, make_result())  # second: also 10s
+        lines = out.getvalue().splitlines()
+        # 2 simulated in 20s -> 10s each; 1 cell left -> eta 10s, not
+        # 20/3*1≈6.7s (the bug: cached run in the denominator)
+        assert "elapsed=20.0s eta=10.0s" in lines[2]
+        assert rep.cached == 1
+
+    def test_summary_reports_store_hits(self):
+        rep = ProgressReporter(2, stream=io.StringIO(), clock=FakeClock())
+        cfg = ExperimentConfig(protocol="realtor")
+        rep.update(cfg, make_result(), cached=True)
+        rep.update(cfg, make_result())
+        assert "(1 served from store)" in rep.summary()
+
 
 class TestSweepIntegration:
     def test_serial_sweep_streams_updates(self):

@@ -58,7 +58,13 @@ def _traced_run(cfg: ExperimentConfig, *, batching: bool, profile=None):
         (rec.time, rec.category, tuple(sorted(rec.payload.items())))
         for rec in system.sim.trace.records
     ]
-    return trace, dataclasses.asdict(system.result()), system.sim.events_executed
+    result = dataclasses.asdict(system.result())
+    # cohort_* extras are dispatch accounting, not observational output:
+    # they *must* differ between the batched and scalar strategies
+    for key in list(result["extra"]):
+        if key.startswith("cohort"):
+            del result["extra"][key]
+    return trace, result, system.sim.events_executed
 
 
 def _assert_identical(run_a, run_b, label: str) -> None:
@@ -406,3 +412,76 @@ class TestHeapCompaction:
         # below the compaction floor the dead entries just sit there
         assert len(sim.queue._heap) == 10
         assert len(sim.queue) == 0
+
+
+class TestCohortStats:
+    """The kernel's batched-dispatch accounting (RunResult "cohorts")."""
+
+    def test_stats_account_for_every_batched_event(self):
+        sim = Simulator()
+        fn = lambda i: None  # noqa: E731
+        sim.register_batch(fn, lambda cohort: None)
+        for i in range(5):
+            sim.at(1.0, fn, i)   # one cohort of 5
+        for i in range(3):
+            sim.at(2.0, fn, i)   # one cohort of 3
+        sim.at(3.0, fn, 0)       # lone event: scalar, not a cohort
+        sim.run()
+        stats = sim.cohort_stats()
+        assert stats["cohorts"] == 2
+        assert stats["batched_events"] == 8
+        assert stats["size_histogram"] == {3: 1, 5: 1}
+        # histogram is self-consistent: occurrences sum to cohorts,
+        # size-weighted sum to batched events
+        assert sum(stats["size_histogram"].values()) == stats["cohorts"]
+        assert (
+            sum(s * c for s, c in stats["size_histogram"].items())
+            == stats["batched_events"]
+        )
+        assert stats["batched_share"] == pytest.approx(8 / 9)
+        assert sim.events_executed == 9
+
+    def test_stats_zero_before_any_run(self):
+        stats = Simulator().cohort_stats()
+        assert stats["cohorts"] == 0
+        assert stats["batched_events"] == 0
+        assert stats["batched_share"] == 0.0
+        assert stats["size_histogram"] == {}
+
+    def test_stats_zero_with_batching_disabled(self):
+        sim = Simulator()
+        sim.set_cohort_batching(False)
+        fn = lambda i: None  # noqa: E731
+        sim.register_batch(fn, lambda cohort: None)
+        for i in range(5):
+            sim.at(1.0, fn, i)
+        sim.run()
+        stats = sim.cohort_stats()
+        assert stats["cohorts"] == 0
+        assert stats["batched_events"] == 0
+        assert sim.events_executed == 5
+
+    def test_stats_zero_under_profiled_loop(self):
+        # the instrumented twin loop always runs scalar
+        cfg = _tier_config(nodes=250, horizon=2.0)
+        system = build_system(cfg)
+        system.run(profile=KernelProfiler())
+        stats = system.sim.cohort_stats()
+        assert stats["cohorts"] == 0
+        assert stats["batched_events"] == 0
+        assert system.sim.events_executed > 0
+
+    def test_tier_run_stats_land_on_result_extra(self):
+        cfg = _tier_config(nodes=250, horizon=2.0)
+        system = build_system(cfg)
+        system.run()
+        result = system.result()
+        stats = system.sim.cohort_stats()
+        assert result.extra["cohorts"] == float(stats["cohorts"])
+        assert result.extra["cohort_batched_events"] == float(
+            stats["batched_events"]
+        )
+        assert result.extra["cohort_batched_share"] == pytest.approx(
+            stats["batched_share"]
+        )
+        assert stats["batched_events"] > 0  # the tier really batches
