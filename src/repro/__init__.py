@@ -25,11 +25,40 @@ Quickstart
 True
 """
 
-from .experiments.config import ExperimentConfig, paper_config
-from .experiments.runner import System, build_system, run_experiment
-from .metrics.collector import RunResult
-from .protocols.base import ProtocolConfig
-from .protocols.registry import PAPER_PROTOCOLS, make_agent, protocol_names
+# Lazy re-exports (PEP 562): importing an agent subpackage such as
+# ``repro.core`` must not drag in the experiment harness — and through it
+# the simulation kernel — because the agents are runtime-agnostic (the
+# live asyncio runtime imports them without any simulator installed; the
+# import-isolation test pins this).  The public API is unchanged: the
+# first attribute access resolves and caches the name.
+_LAZY_EXPORTS = {
+    "ExperimentConfig": ("experiments.config", "ExperimentConfig"),
+    "paper_config": ("experiments.config", "paper_config"),
+    "System": ("experiments.runner", "System"),
+    "build_system": ("experiments.runner", "build_system"),
+    "run_experiment": ("experiments.runner", "run_experiment"),
+    "RunResult": ("metrics.collector", "RunResult"),
+    "ProtocolConfig": ("protocols.base", "ProtocolConfig"),
+    "PAPER_PROTOCOLS": ("protocols.registry", "PAPER_PROTOCOLS"),
+    "make_agent": ("protocols.registry", "make_agent"),
+    "protocol_names": ("protocols.registry", "protocol_names"),
+}
+
+
+def __getattr__(name: str):
+    entry = _LAZY_EXPORTS.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(f".{entry[0]}", __name__), entry[1])
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
 
 __version__ = "1.0.0"
 

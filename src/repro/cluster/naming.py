@@ -12,9 +12,10 @@ service keeps chasing stale bindings).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from ..sim.kernel import Simulator
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import SchedulerAPI
 
 __all__ = ["NamingService", "Binding"]
 
@@ -39,7 +40,7 @@ class NamingService:
         Seconds before an update becomes visible to lookups (0 = instant).
     """
 
-    def __init__(self, sim: Simulator, propagation_delay: float = 0.0) -> None:
+    def __init__(self, sim: "SchedulerAPI", propagation_delay: float = 0.0) -> None:
         if propagation_delay < 0:
             raise ValueError("propagation delay cannot be negative")
         self.sim = sim

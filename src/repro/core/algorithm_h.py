@@ -30,10 +30,10 @@ pledges back in.  The adaptive-PULL baseline reuses it with
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
 
-from ..sim.events import Event
-from ..sim.kernel import Simulator
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import SchedulerAPI, TimerHandle
 
 __all__ = ["HelpScheduler"]
 
@@ -67,7 +67,7 @@ class HelpScheduler:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: "SchedulerAPI",
         send: Callable[[], None],
         *,
         initial_interval: float,
@@ -110,7 +110,7 @@ class HelpScheduler:
         #: correlation id of the latest HELP round, sequential per
         #: scheduler — ``(owner, last_help_id)`` keys the causality span
         self.last_help_id = -1
-        self._timer: Optional[Event] = None
+        self._timer: Optional["TimerHandle"] = None
         self._retries_left = 0
         self._timeout_scale = 1.0
         self.helps_sent = 0

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..network.topology import Topology
-from ..network.transport import Delivery
+from ..runtime.api import Delivery
 from ..protocols.base import ProtocolContext
 from .messages import Help
 from .realtor import RealtorAgent

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..network.transport import Delivery
+from ..runtime.api import Delivery
 from ..node.task import Task
 from ..protocols.base import DiscoveryAgent, ProtocolContext
 from .algorithm_h import HelpScheduler

@@ -131,13 +131,27 @@ class RunStore:
     # Loading --------------------------------------------------------------
 
     def _check_format(self) -> None:
+        """Validate the advisory index — and *only* validate.
+
+        The index is a convenience snapshot; the shards are the source
+        of truth.  A process killed mid-flush can leave it truncated,
+        half-written, or stale (wrong entry count, missing shards), and
+        none of that may block a reopen: every corrupt shape falls
+        through to the shard loader silently.  The one hard error is a
+        well-formed index claiming a *different* store format — that is
+        not corruption, it is the wrong directory.
+        """
         index = self.root / "index.json"
-        if not index.exists():
-            return
         try:
-            meta = json.loads(index.read_text())
+            raw = index.read_text()
+        except OSError:
+            return  # absent or unreadable; shards are the source of truth
+        try:
+            meta = json.loads(raw)
         except json.JSONDecodeError:
-            return  # killed mid-flush; shards are the source of truth
+            return  # killed mid-flush
+        if not isinstance(meta, dict):
+            return  # valid JSON, wrong shape — still just corruption
         tag = meta.get("format")
         if tag is not None and tag != STORE_FORMAT:
             raise ValueError(f"{self.root} is not a {STORE_FORMAT} store: {tag!r}")
@@ -223,16 +237,21 @@ class RunStore:
         self.writes += 1
 
     def flush(self) -> None:
-        """Write the metadata index (informational; shards are canonical)."""
+        """Write the metadata index (informational; shards are canonical).
+
+        Written atomically (tmp + rename) so a kill during flush leaves
+        either the previous index or the new one, never a torn file —
+        though the loader tolerates torn files anyway.
+        """
         meta = {
             "format": STORE_FORMAT,
             "salt": self.salt,
             "entries": len(self._records),
             "shards": sorted(p.name for p in self.shard_dir.glob("*.jsonl")),
         }
-        (self.root / "index.json").write_text(
-            json.dumps(meta, indent=2, sort_keys=True) + "\n"
-        )
+        tmp = self.root / "index.json.tmp"
+        tmp.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        tmp.replace(self.root / "index.json")
 
     def stats(self) -> Dict[str, int]:
         """Session counters for telemetry/CLI reporting."""

@@ -1,0 +1,30 @@
+"""The live asyncio runtime: the paper's protocols off the simulator.
+
+This package is the other half of the runtime seam
+(:mod:`repro.runtime.api`): a wall-clock scheduler
+(:class:`~repro.live.scheduler.LiveScheduler`), a real message transport
+(:class:`~repro.live.transport.LiveTransport`, in-process mailbox tasks
+or loopback UDP sockets) and a system assembly
+(:class:`~repro.live.runtime.LiveRuntime`) that runs the **unchanged**
+protocol, migration and workload modules against them.
+
+Run it from the command line::
+
+    python -m repro.live --nodes 25 --rate 200 --duration 10
+
+See ``docs/live.md`` for the seam architecture and the backend matrix.
+"""
+
+from .runtime import LiveConfig, LiveRuntime, run_live
+from .scheduler import LiveScheduler, LiveTimer
+from .transport import BACKENDS, LiveTransport
+
+__all__ = [
+    "BACKENDS",
+    "LiveConfig",
+    "LiveRuntime",
+    "LiveScheduler",
+    "LiveTimer",
+    "LiveTransport",
+    "run_live",
+]

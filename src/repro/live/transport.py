@@ -1,0 +1,331 @@
+"""Live message transport: the same surface as the simulated one.
+
+:class:`LiveTransport` implements :class:`~repro.runtime.api.TransportAPI`
+— ``register``/``unregister``/``unicast``/``flood``/``multicast`` with
+the same cost accounting hooks — over two interchangeable backends:
+
+* ``inproc`` — every node is its **own asyncio task** draining a
+  mailbox queue; a send enqueues onto the destination's mailbox and the
+  node task dispatches to the registered handler.  This is the default:
+  no serialisation, no sockets, deterministic enough for the
+  live-vs-sim equivalence tests.
+* ``udp`` — every node binds a real UDP datagram endpoint on the
+  loopback interface; a pickled envelope crosses the kernel socket
+  layer while the payload object rides a per-message side table.
+  Exercises a genuine wire (socket scheduling, kernel buffering)
+  while staying single-machine.  The side table is deliberate, not a
+  shortcut: the paper's admission protocol settles a migration by the
+  *responder mutating the requester's Task object* (speculative
+  reservation), a shared-memory contract the simulator provides by
+  reference.  Serialising the payload would hand the responder a copy
+  and silently break settlement, so the envelope carries only a token
+  and object identity is preserved in-process.
+
+Timing defaults come from the cluster emulation's
+:class:`~repro.cluster.rmi.LanParameters` (Section 6's switched-Ethernet
+testbed): the per-message one-way latency is applied in *virtual*
+seconds — divided by the scheduler's ``time_scale`` on the wire — and
+the default cost model is :func:`~repro.cluster.rmi.LanCostModel`
+(IP-multicast flood = 1 message, switched unicast = 1 message).
+
+Counter names (``sent_messages``/``delivered_messages``/
+``dropped_messages``) match the simulated transport so
+:func:`~repro.obs.registry.install_run_probes` wires either one
+untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..cluster.rmi import LanCostModel, LanParameters
+from ..network.topology import NodeId, Topology
+from ..network.transport import CostModel
+from ..runtime.api import Delivery
+
+from .scheduler import LiveScheduler
+
+__all__ = ["LiveTransport", "BACKENDS"]
+
+Handler = Callable[[Delivery], None]
+CostSink = Callable[[str, float], None]
+
+BACKENDS = ("inproc", "udp")
+
+#: mailbox sentinel that terminates a node task
+_SHUTDOWN = object()
+
+
+class _NodeEndpoint(asyncio.DatagramProtocol):
+    """Loopback UDP endpoint of one node (``udp`` backend)."""
+
+    def __init__(self, transport_ref: "LiveTransport", node: NodeId) -> None:
+        self.ref = transport_ref
+        self.node = node
+
+    def datagram_received(self, data: bytes, addr) -> None:  # pragma: no cover - thin
+        try:
+            src, kind, token, sent_at = pickle.loads(data)
+        except Exception:
+            self.ref.dropped_messages += 1
+            return
+        try:
+            payload = self.ref._payloads.pop(token)
+        except KeyError:
+            # Duplicate or forged datagram: no payload to deliver.
+            self.ref.dropped_messages += 1
+            return
+        self.ref._dispatch(self.node, src, kind, payload, sent_at)
+
+
+class LiveTransport:
+    """Asynchronous message delivery over the overlay topology.
+
+    Parameters
+    ----------
+    sim:
+        The live scheduler (clock + virtual/wall conversion).
+    topo:
+        Overlay topology; floods honour it exactly like the simulated
+        transport (``neighbors_only`` restricts to direct neighbours).
+    backend:
+        ``"inproc"`` (default) or ``"udp"`` — see the module docstring.
+    is_up / link_up:
+        Liveness predicates, defaulting to "always up"; the fault
+        manager supplies the real ones.
+    cost_model:
+        Defaults to :func:`~repro.cluster.rmi.LanCostModel` — the LAN
+        accounting of Section 6, not the WAN hop counting of Section 5.
+    lan:
+        Socket timing defaults; ``lan.latency`` is the per-message
+        one-way delay in virtual seconds.
+    on_cost:
+        ``(kind, cost)`` sink, once per send (metrics collector).
+    """
+
+    def __init__(
+        self,
+        sim: LiveScheduler,
+        topo: Topology,
+        *,
+        backend: str = "inproc",
+        is_up: Optional[Callable[[NodeId], bool]] = None,
+        link_up: Optional[Callable[[NodeId, NodeId], bool]] = None,
+        cost_model: Optional[CostModel] = None,
+        lan: Optional[LanParameters] = None,
+        latency: Optional[float] = None,
+        on_cost: Optional[CostSink] = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; known: {BACKENDS}")
+        self.sim = sim
+        self.topo = topo
+        self.backend = backend
+        self.is_up = is_up if is_up is not None else (lambda _n: True)
+        self.link_up = link_up
+        self.lan = lan if lan is not None else LanParameters()
+        self.cost_model = cost_model if cost_model is not None else LanCostModel()
+        #: one-way delivery delay, virtual seconds (LAN default 0.2 ms)
+        self.latency = self.lan.latency if latency is None else float(latency)
+        self.on_cost = on_cost
+        self._handlers: Dict[NodeId, Dict[str, Handler]] = {}
+        self._mailboxes: Dict[NodeId, asyncio.Queue] = {}
+        self._node_tasks: Dict[NodeId, asyncio.Task] = {}
+        self._endpoints: Dict[NodeId, tuple] = {}  # node -> (transport, addr)
+        # udp backend: in-flight payload objects keyed by wire token (see
+        # the module docstring for why payloads never get pickled).
+        self._payloads: Dict[int, Any] = {}
+        self._next_token = 0
+        self._started = False
+        self._closed = False
+        self.sent_messages = 0
+        self.delivered_messages = 0
+        self.dropped_messages = 0
+
+    # Lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bring up one mailbox task (or UDP endpoint) per overlay node."""
+        if self._started:
+            raise RuntimeError("transport already started")
+        self._started = True
+        nodes = self.topo.nodes()
+        if self.backend == "inproc":
+            for nid in nodes:
+                queue: asyncio.Queue = asyncio.Queue()
+                self._mailboxes[nid] = queue
+                self._node_tasks[nid] = asyncio.create_task(
+                    self._node_loop(nid, queue), name=f"live-node-{nid}"
+                )
+            return
+        loop = asyncio.get_running_loop()
+        for nid in nodes:
+            transport, protocol = await loop.create_datagram_endpoint(
+                lambda nid=nid: _NodeEndpoint(self, nid),
+                local_addr=("127.0.0.1", 0),
+            )
+            addr = transport.get_extra_info("sockname")
+            self._endpoints[nid] = (transport, addr)
+
+    async def aclose(self) -> None:
+        """Drain and tear down every node task / endpoint (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._mailboxes.values():
+            queue.put_nowait(_SHUTDOWN)
+        if self._node_tasks:
+            await asyncio.gather(
+                *self._node_tasks.values(), return_exceptions=True
+            )
+        self._node_tasks.clear()
+        self._mailboxes.clear()
+        for transport, _addr in self._endpoints.values():
+            transport.close()
+        self._endpoints.clear()
+        self._payloads.clear()
+
+    @property
+    def node_task_count(self) -> int:
+        """Live mailbox tasks (diagnostics / clean-shutdown check)."""
+        return sum(1 for t in self._node_tasks.values() if not t.done())
+
+    # Registration --------------------------------------------------------
+
+    def register(self, node: NodeId, kind: str, handler: Handler) -> None:
+        if not self.topo.has_node(node):
+            raise KeyError(f"no such node: {node}")
+        self._handlers.setdefault(node, {})[kind] = handler
+
+    def unregister(self, node: NodeId) -> None:
+        self._handlers.pop(node, None)
+
+    # Sending -----------------------------------------------------------
+
+    def unicast(self, src: NodeId, dst: NodeId, kind: str, payload: Any) -> bool:
+        """Point-to-point send; ``True`` when dispatched onto the wire."""
+        if not self.is_up(src):
+            return False
+        if not self.topo.has_node(dst):
+            raise KeyError(f"no such node: {dst}")
+        self.sent_messages += 1
+        self._charge(kind, self.cost_model.fixed_unicast_cost)
+        if not self.is_up(dst):
+            self.dropped_messages += 1
+            return False
+        self._send(src, dst, kind, payload)
+        return True
+
+    def flood(
+        self, src: NodeId, kind: str, payload: Any, *, neighbors_only: bool = False
+    ) -> List[NodeId]:
+        """One logical multicast; receivers per the configured scope."""
+        if not self.is_up(src):
+            return []
+        self.sent_messages += 1
+        link_up = self.link_up
+        if neighbors_only:
+            receivers = [
+                n
+                for n in self.topo.neighbors(src)
+                if self.is_up(n) and (link_up is None or link_up(src, n))
+            ]
+        else:
+            receivers = [
+                n for n in self.topo.nodes() if n != src and self.is_up(n)
+            ]
+        cost = self.cost_model.flood_cost_override
+        if cost is None:
+            cost = float(self.topo.num_links)
+        self._charge(kind, cost)
+        for dst in receivers:
+            self._send(src, dst, kind, payload)
+        return receivers
+
+    def multicast(
+        self,
+        src: NodeId,
+        dests: Iterable[NodeId],
+        kind: str,
+        payload: Any,
+        *,
+        cost: Optional[float] = None,
+    ) -> List[NodeId]:
+        """Send to an explicit receiver set (LAN IP multicast: cost 1)."""
+        if not self.is_up(src):
+            return []
+        self.sent_messages += 1
+        receivers: List[NodeId] = []
+        total = 0.0
+        for dst in sorted(set(dests)):
+            if dst == src or not self.topo.has_node(dst) or not self.is_up(dst):
+                continue
+            total += self.cost_model.fixed_unicast_cost
+            receivers.append(dst)
+            self._send(src, dst, kind, payload)
+        self._charge(kind, cost if cost is not None else total)
+        return receivers
+
+    # Internals ------------------------------------------------------------
+
+    def _charge(self, kind: str, cost: float) -> None:
+        if self.on_cost is not None:
+            self.on_cost(kind, cost)
+
+    def _send(self, src: NodeId, dst: NodeId, kind: str, payload: Any) -> None:
+        sent_at = self.sim.now
+        if self.backend == "inproc":
+            queue = self._mailboxes.get(dst)
+            if queue is None:
+                self.dropped_messages += 1
+                return
+            queue.put_nowait((src, kind, payload, sent_at))
+            return
+        endpoint = self._endpoints.get(dst)
+        sender = self._endpoints.get(src)
+        if endpoint is None or sender is None:
+            self.dropped_messages += 1
+            return
+        token = self._next_token
+        self._next_token += 1
+        try:
+            data = pickle.dumps((src, kind, token, sent_at))
+        except Exception:
+            self.dropped_messages += 1
+            return
+        self._payloads[token] = payload
+        sender[0].sendto(data, endpoint[1])
+
+    async def _node_loop(self, node: NodeId, queue: asyncio.Queue) -> None:
+        """One node's mailbox task: serialise deliveries like a NIC would.
+
+        The per-message latency sleep is the LAN one-way delay converted
+        to wall time; messages to one node are delivered in FIFO order
+        behind it, so a hot receiver naturally queues.
+        """
+        wall_latency = self.latency / self.sim.time_scale
+        while True:
+            item = await queue.get()
+            if item is _SHUTDOWN:
+                break
+            if wall_latency > 0:
+                await asyncio.sleep(wall_latency)
+            src, kind, payload, sent_at = item
+            self._dispatch(node, src, kind, payload, sent_at)
+
+    def _dispatch(
+        self, dst: NodeId, src: NodeId, kind: str, payload: Any, sent_at: float
+    ) -> None:
+        """Hand one arrived message to its handler (liveness re-checked)."""
+        if not self.is_up(dst):
+            self.dropped_messages += 1
+            return
+        handlers = self._handlers.get(dst)
+        handler = handlers.get(kind) if handlers is not None else None
+        if handler is None:
+            self.dropped_messages += 1
+            return
+        self.delivered_messages += 1
+        handler(Delivery(src, dst, kind, payload, sent_at, self.sim.now))

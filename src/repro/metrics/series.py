@@ -9,12 +9,14 @@ hpc-parallel guideline: vectorise the analysis, keep the hot loop lean).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, TYPE_CHECKING, Tuple
 
 import numpy as np
 
-from ..sim.events import Priority
-from ..sim.kernel import Simulator
+from ..runtime.api import Priority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import SchedulerAPI
 
 __all__ = ["TimeSeries", "Sampler"]
 
@@ -116,7 +118,7 @@ class Sampler:
     >>> sampler.watch("usage0", host.usage)
     """
 
-    def __init__(self, sim: Simulator, interval: float) -> None:
+    def __init__(self, sim: "SchedulerAPI", interval: float) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.sim = sim

@@ -17,13 +17,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, TYPE_CHECKING
 
-from ..network.transport import Delivery, Transport
 from ..node.host import Host
 from ..node.task import Task, TaskOutcome
-from ..sim.events import Event
-from ..sim.kernel import Simulator
+from ..runtime.api import Delivery
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import SchedulerAPI, TimerHandle, TransportAPI
 
 __all__ = ["AdmissionControl", "KIND_ADMIT_REQ", "KIND_ADMIT_REP"]
 
@@ -65,8 +66,8 @@ class AdmissionControl:
 
     def __init__(
         self,
-        sim: Simulator,
-        transport: Transport,
+        sim: "SchedulerAPI",
+        transport: "TransportAPI",
         host: Host,
         *,
         on_request_observed: Optional[Callable[[bool], None]] = None,
@@ -84,7 +85,7 @@ class AdmissionControl:
         #: whether this node may take on new work (false while compromised)
         self.accepting = accepting if accepting is not None else (lambda: True)
         self._pending: Dict[int, Callable[[bool], None]] = {}
-        self._timeouts: Dict[int, Event] = {}
+        self._timeouts: Dict[int, "TimerHandle"] = {}
         self.requests_received = 0
         self.requests_granted = 0
         #: why the most recent negotiation resolved, readable from inside

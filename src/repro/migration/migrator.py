@@ -17,16 +17,19 @@ faults, not just in the zero-latency configuration.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from ..metrics.collector import MetricsCollector
 from ..network.faults import NodeState
 from ..node.host import Host
 from ..node.task import Task, TaskOutcome, TaskStatus
 from ..protocols.base import DiscoveryAgent
-from ..sim.kernel import Simulator
+
 from .admission import AdmissionControl
 from .policy import MigrationPolicy, OneShotPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import SchedulerAPI
 
 __all__ = ["MigrationCoordinator"]
 
@@ -57,7 +60,7 @@ class MigrationCoordinator:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: "SchedulerAPI",
         hosts: Dict[int, Host],
         agents: Dict[int, DiscoveryAgent],
         admissions: Dict[int, AdmissionControl],

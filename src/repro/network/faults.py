@@ -15,10 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
-from ..sim.kernel import Simulator
 from .topology import Link, NodeId, Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import SchedulerAPI
 
 __all__ = ["NodeState", "FaultManager", "FaultEvent"]
 
@@ -47,7 +49,7 @@ class FaultManager:
     and rebuilds its community).
     """
 
-    sim: Simulator
+    sim: "SchedulerAPI"
     topo: Topology
     _states: Dict[NodeId, NodeState] = field(default_factory=dict)
     _down_links: Set[Link] = field(default_factory=set)

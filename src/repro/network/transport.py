@@ -23,13 +23,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Dict, Iterable, List, NamedTuple, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
 
-from ..sim.events import Priority
-from ..sim.kernel import Simulator
+# Delivery and Priority live on the runtime seam (shared with the live
+# transport); re-exported here for every existing import site.
+from ..runtime.api import Delivery, Priority
 from .impairments import NetworkImpairments
 from .routing import Router, bfs_distances
 from .topology import NodeId, Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import SchedulerAPI
 
 __all__ = ["Transport", "Delivery", "CostModel", "UnicastCostMode"]
 
@@ -120,30 +124,15 @@ class CostModel:
         return max(router.mean_shortest_path(), 1.0)
 
 
-class Delivery(NamedTuple):
-    """What a handler receives: the payload plus delivery metadata.
-
-    A ``NamedTuple`` rather than a frozen dataclass: one of these is
-    built per delivered message (the dominant allocation of a flood-heavy
-    run) and tuple construction skips the per-field
-    ``object.__setattr__`` a frozen dataclass pays.
-    """
-
-    src: NodeId
-    dst: NodeId
-    kind: str
-    payload: Any
-    sent_at: float
-    delivered_at: float
-
-
 class Transport:
     """Delivers messages over the live overlay and accounts their cost.
 
     Parameters
     ----------
     sim:
-        The simulation kernel (used for delayed delivery).
+        The scheduler seam (simulation kernel, or any other
+        :class:`~repro.runtime.api.SchedulerAPI`) used for delayed
+        delivery.
     topo:
         The *full* overlay; liveness is consulted per send via ``is_up``.
     is_up:
@@ -172,7 +161,7 @@ class Transport:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: "SchedulerAPI",
         topo: Topology,
         *,
         is_up: Optional[Callable[[NodeId], bool]] = None,

@@ -9,13 +9,15 @@ extension share one code path.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, NamedTuple, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional, TYPE_CHECKING
 
-from ..sim.kernel import Simulator
 from .monitor import ThresholdMonitor
 from .queue import QueueFull, WorkQueue
 from .resources import ResourcePool
 from .task import Task, TaskOutcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import SchedulerAPI
 
 __all__ = ["Host", "HostSnapshot"]
 
@@ -58,7 +60,7 @@ class Host:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: "SchedulerAPI",
         node_id: int,
         capacity: float,
         threshold: float = 0.9,

@@ -23,11 +23,13 @@ operations (cancel + schedule) per above-threshold admission with zero.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, TYPE_CHECKING
 
-from ..sim.events import Event, Priority
-from ..sim.kernel import Simulator
+from ..runtime.api import Priority
 from .queue import WorkQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import SchedulerAPI, TimerHandle
 
 __all__ = ["ThresholdMonitor", "Crossing"]
 
@@ -60,7 +62,7 @@ class ThresholdMonitor:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: "SchedulerAPI",
         queue: WorkQueue,
         threshold: float,
         hysteresis: float = 0.0,
@@ -75,7 +77,7 @@ class ThresholdMonitor:
         self.hysteresis = float(hysteresis)
         self._listeners: List[Crossing] = []
         self._below = self.queue.usage() < self.threshold
-        self._pending: Optional[Event] = None
+        self._pending: Optional["TimerHandle"] = None
         self.crossings_up = 0
         self.crossings_down = 0
         # Optional write-through mirror of the threshold side into a

@@ -28,11 +28,13 @@ the heap.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, TYPE_CHECKING
 
-from ..sim.events import Priority
-from ..sim.kernel import Simulator
+from ..runtime.api import Priority
 from .task import Task, TaskStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import SchedulerAPI
 
 __all__ = ["WorkQueue", "QueueFull"]
 
@@ -60,7 +62,7 @@ class WorkQueue:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: "SchedulerAPI",
         capacity: float,
         on_complete: Optional[Callable[[Task], None]] = None,
     ) -> None:

@@ -26,10 +26,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
-from ..sim.events import Event, Priority
-from ..sim.kernel import Simulator
+from ..runtime.api import Priority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import SchedulerAPI, TimerHandle
 
 __all__ = ["ConstantUtilizationServer", "EdfScheduler", "Job"]
 
@@ -134,7 +136,7 @@ class EdfScheduler:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: "SchedulerAPI",
         on_complete: Optional[Callable[[Job], None]] = None,
     ) -> None:
         self.sim = sim
@@ -142,7 +144,7 @@ class EdfScheduler:
         self._ready: List[Job] = []
         self._running: Optional[Job] = None
         self._run_started = 0.0
-        self._completion_event: Optional[Event] = None
+        self._completion_event: Optional["TimerHandle"] = None
         self.completed: List[Job] = []
 
     # Submission ----------------------------------------------------------

@@ -116,6 +116,52 @@ class Histogram:
             clipped = np.clip(values, self.edges[0], self.edges[-1])
             self.counts += np.histogram(clipped, bins=self.edges)[0]
 
+    def observe(self, value: float) -> None:
+        """Add one scalar observation (the live runtime's per-event path).
+
+        Same clamp-into-end-bins convention as :meth:`accumulate`, so a
+        column accumulated at once and the same column observed value by
+        value produce identical counts.
+        """
+        nbins = self.counts.shape[0]
+        if self._uniform:
+            idx = int((value - self._lo) * self._scale)
+        else:
+            idx = int(np.searchsorted(self.edges, value, side="right")) - 1
+        if idx < 0:
+            idx = 0
+        elif idx >= nbins:
+            idx = nbins - 1
+        self.counts[idx] += 1
+
+    def percentile(self, q: float) -> float:
+        """Approximate the ``q``-th percentile (0-100) from the bin counts.
+
+        Linear interpolation within the bin containing the rank; exact at
+        bin edges, NaN on an empty histogram.  Resolution is the bin
+        width — callers needing exact order statistics should keep raw
+        samples; this serves rollups where the histogram is all that is
+        retained.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        total = int(self.counts.sum())
+        if total == 0:
+            return float("nan")
+        rank = q / 100.0 * total
+        cum = 0
+        for i, count in enumerate(self.counts):
+            prev = cum
+            cum += int(count)
+            if cum >= rank:
+                lo = float(self.edges[i])
+                hi = float(self.edges[i + 1])
+                if count == 0:
+                    return lo
+                frac = (rank - prev) / float(count)
+                return lo + frac * (hi - lo)
+        return float(self.edges[-1])
+
     def total(self) -> int:
         return int(self.counts.sum())
 

@@ -29,6 +29,10 @@ class ProtocolRollup:
     runs: int = 0
     message_rate_sum: float = 0.0   # weighted messages per simulated second
     loss_rate_sum: float = 0.0      # (rejected + lost) / generated
+    #: runs that generated at least one task — the loss-rate denominator.
+    #: A run with zero arrivals has no loss rate at all; folding it into
+    #: ``runs`` silently diluted the mean toward zero.
+    loss_runs: int = 0
     admitted_sum: float = 0.0       # admission probability
     drops_sum: float = 0.0          # messages dropped (impairments/dead dst)
     retries_sum: float = 0.0        # recovery actions: HELP retries + fallbacks
@@ -39,6 +43,7 @@ class ProtocolRollup:
         self.message_rate_sum += result.messages_total / horizon
         if result.generated:
             self.loss_rate_sum += (result.rejected + result.lost) / result.generated
+            self.loss_runs += 1
         self.admitted_sum += result.admission_probability
         extra = result.extra
         self.drops_sum += extra.get("dropped_messages", 0.0)
@@ -52,7 +57,8 @@ class ProtocolRollup:
 
     @property
     def loss_rate(self) -> float:
-        return self.loss_rate_sum / self.runs if self.runs else 0.0
+        """Mean loss rate over the runs that had arrivals at all."""
+        return self.loss_rate_sum / self.loss_runs if self.loss_runs else 0.0
 
     @property
     def admission(self) -> float:

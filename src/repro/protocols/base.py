@@ -12,25 +12,48 @@ them interchangeably:
 
 The taxonomy of [Maheswaran 2001] that the paper adopts — push vs pull,
 periodic vs aperiodic — maps onto which hooks an agent actually uses.
+
+Agents are runtime-agnostic: everything they need from their
+environment is the seam re-exported here from :mod:`repro.runtime.api`
+— a :class:`Clock`/:class:`SchedulerAPI` for time and timers and a
+:class:`TransportAPI` for messaging.  Both the discrete-event simulator
+and the live asyncio runtime (:mod:`repro.live`) implement it, so the
+exact same agent modules drive the published-figure simulations and a
+deployed service; the import-isolation test pins that importing this
+package never pulls in ``repro.sim.kernel``.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional
 
 from ..core.messages import KIND_ADV, KIND_HELP, KIND_PLEDGE
-from ..network.transport import Delivery, Transport
 from ..node.host import Host
 from ..node.task import Task
-from ..sim.kernel import Simulator
+from ..runtime.api import (
+    Clock,
+    Delivery,
+    PeriodicHandle,
+    SchedulerAPI,
+    TimerHandle,
+    TransportAPI,
+)
 from .view import ResourceView
 
-if TYPE_CHECKING:  # pragma: no cover
-    pass
-
-__all__ = ["ProtocolConfig", "ProtocolContext", "DiscoveryAgent"]
+__all__ = [
+    "ProtocolConfig",
+    "ProtocolContext",
+    "DiscoveryAgent",
+    # the sim/live runtime seam, re-exported for agent implementations
+    "Clock",
+    "Delivery",
+    "PeriodicHandle",
+    "SchedulerAPI",
+    "TimerHandle",
+    "TransportAPI",
+]
 
 
 @dataclass(frozen=True)
@@ -121,8 +144,8 @@ class ProtocolConfig:
 class ProtocolContext:
     """Everything a protocol agent needs from its environment."""
 
-    sim: Simulator
-    transport: Transport
+    sim: SchedulerAPI
+    transport: TransportAPI
     host: Host
     config: ProtocolConfig
     all_nodes: List[int] = field(default_factory=list)

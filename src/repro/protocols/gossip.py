@@ -22,11 +22,13 @@ terms) but its per-message cost is a single unicast, not a flood.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
-from ..network.transport import Delivery
-from ..sim.kernel import PeriodicTimer, RoundMembership
+from ..runtime.api import Delivery
 from .base import DiscoveryAgent, ProtocolContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import PeriodicHandle
 
 __all__ = ["GossipAgent", "KIND_GOSSIP", "KIND_GOSSIP_ACK"]
 
@@ -58,7 +60,7 @@ class GossipAgent(DiscoveryAgent):
         self.interval = interval if interval is not None else self.DEFAULT_INTERVAL
         if self.interval <= 0:
             raise ValueError("gossip interval must be positive")
-        self._timer: Optional[Union[PeriodicTimer, RoundMembership]] = None
+        self._timer: Optional["PeriodicHandle"] = None
         self.rounds = 0
         self.digests_merged = 0
 

@@ -20,7 +20,7 @@ from typing import Dict
 
 from ..core.algorithm_p import PledgePolicy
 from ..core.messages import KIND_HELP, KIND_PLEDGE, Help, Pledge
-from ..network.transport import Delivery
+from ..runtime.api import Delivery
 from ..node.task import Task
 from .base import DiscoveryAgent, ProtocolContext
 

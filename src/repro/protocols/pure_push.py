@@ -13,11 +13,13 @@ of load — that is exactly why Figure 6 shows a flat, dominating overhead
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, TYPE_CHECKING
 
 from ..core.messages import KIND_ADV, Advertisement
-from ..sim.kernel import PeriodicTimer, RoundMembership
 from .base import DiscoveryAgent, ProtocolContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import PeriodicHandle
 
 __all__ = ["PurePushAgent"]
 
@@ -29,7 +31,7 @@ class PurePushAgent(DiscoveryAgent):
 
     def __init__(self, ctx: ProtocolContext) -> None:
         super().__init__(ctx)
-        self._timer: Optional[Union[PeriodicTimer, RoundMembership]] = None
+        self._timer: Optional["PeriodicHandle"] = None
         self.advertisements_sent = 0
 
     def _start_protocol(self) -> None:

@@ -1,0 +1,25 @@
+"""Runtime seam: the environment contract shared by sim and live."""
+
+from .api import (
+    Clock,
+    Delivery,
+    NodeId,
+    PeriodicHandle,
+    Priority,
+    SchedulerAPI,
+    TimerHandle,
+    TraceAPI,
+    TransportAPI,
+)
+
+__all__ = [
+    "Clock",
+    "Delivery",
+    "NodeId",
+    "PeriodicHandle",
+    "Priority",
+    "SchedulerAPI",
+    "TimerHandle",
+    "TraceAPI",
+    "TransportAPI",
+]

@@ -37,33 +37,17 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
+# Priority lives on the runtime seam (shared with the live runtime);
+# re-exported here because every kernel-facing call site historically
+# imports it from repro.sim.events.
+from ..runtime.api import Priority
+
 __all__ = ["Event", "EventQueue", "Priority"]
 
 _INF = float("inf")
 
 #: below this heap size compaction is never worth the rebuild
 _COMPACT_MIN_HEAP = 64
-
-
-class Priority:
-    """Symbolic intra-timestamp ordering classes.
-
-    Lower values fire first.  The bands are deliberately sparse so callers
-    can slot custom priorities in between without renumbering.
-    """
-
-    #: State mutations (queue drains, resource releases) happen first so
-    #: that any message handler at the same instant observes fresh state.
-    STATE = 0
-    #: Message deliveries and protocol handlers.
-    MESSAGE = 10
-    #: Workload arrivals — a task arriving at time *t* sees all messages
-    #: delivered at *t*.
-    ARRIVAL = 20
-    #: Periodic bookkeeping (metric sampling, trace flushes) runs last.
-    SAMPLING = 90
-
-    DEFAULT = MESSAGE
 
 
 class Event:

@@ -15,12 +15,14 @@ rates can be changed mid-run (the attack scenarios do).
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 import numpy as np
 
-from ..sim.events import Priority
-from ..sim.kernel import Simulator
+from ..runtime.api import Priority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.api import SchedulerAPI
 
 __all__ = [
     "ArrivalProcess",
@@ -129,7 +131,7 @@ class ArrivalGenerator:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: "SchedulerAPI",
         process: ArrivalProcess,
         emit: Callable[[int], None],
         live_nodes: Callable[[], List[int]],
@@ -144,15 +146,24 @@ class ArrivalGenerator:
         self.generated = 0
         self.dropped_no_live_node = 0
         self._stopped = False
+        # Arrivals chain on an absolute timeline, not on the clock at
+        # fire time.  In the discrete-event kernel the two are the same
+        # (an event fires exactly at its scheduled instant); on the live
+        # scheduler each firing runs a little *after* its deadline, and
+        # "now + gap" would compound that lateness into a permanently
+        # slowed arrival process.  An open-loop generator keeps the rate:
+        # late arrivals burst to catch up instead of stretching the gaps.
+        self._next_time = sim.now
         self._schedule_next()
 
     def _schedule_next(self) -> None:
         gap = self.process.next_gap()
         if gap == float("inf"):
             return  # trace exhausted
-        t = self.sim.now + gap
+        t = self._next_time + gap
         if self.until is not None and t > self.until:
             return
+        self._next_time = t
         self.sim.at(t, self._fire, priority=Priority.ARRIVAL)
 
     def _fire(self) -> None:

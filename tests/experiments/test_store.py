@@ -124,6 +124,70 @@ class TestRunStore:
         new = RunStore(tmp_path)  # default salt: old records never match
         assert new.get(new.digest(CFG)) is None
 
+    def test_reopen_after_kill_index_disagreement(self, tmp_path, result):
+        """SIGKILL between a put and a flush leaves the advisory index
+        stale; reopening must trust the shards and say nothing."""
+        store = RunStore(tmp_path)
+        store.put(store.digest(CFG), CFG, result)
+        store.flush()
+        # two more records land after the flush; the kill arrives before
+        # the next flush, so index.json still claims 1 entry / old shards
+        for seed in (7, 8):
+            cfg = CFG.with_(seed=seed)
+            store.put(store.digest(cfg), cfg, result)
+
+        reopened = RunStore(tmp_path)
+        assert len(reopened) == 3  # shards win; stale count ignored
+        assert reopened.corrupt_lines == 0
+
+    @pytest.mark.parametrize(
+        "index_bytes",
+        [
+            b"",                          # truncated to nothing
+            b'{"format": "repro-runst',   # torn mid-write
+            b"[1, 2, 3]\n",               # valid JSON, not an object
+            b'"repro-runstore/1"\n',      # valid JSON, not an object
+            b"42\n",                      # valid JSON, not an object
+        ],
+        ids=["empty", "torn", "list", "string", "number"],
+    )
+    def test_reopen_with_corrupt_index(self, tmp_path, result, index_bytes):
+        """Every corrupt index shape falls through to the shard loader."""
+        store = RunStore(tmp_path)
+        digest = store.digest(CFG)
+        store.put(digest, CFG, result)
+        store.flush()
+        (tmp_path / "index.json").write_bytes(index_bytes)
+
+        reopened = RunStore(tmp_path)
+        assert len(reopened) == 1
+        assert result_to_canonical_json(reopened.get(digest)) == (
+            result_to_canonical_json(result)
+        )
+
+    def test_reopen_with_index_listing_deleted_shard(self, tmp_path, result):
+        """An index naming shards that no longer exist must not resurrect
+        or block anything — only shard files on disk count."""
+        store = RunStore(tmp_path)
+        cfg2 = CFG.with_(seed=9)
+        store.put(store.digest(CFG), CFG, result)
+        store.put(store.digest(cfg2), cfg2, result)
+        store.flush()
+        shards = sorted(store.shard_dir.glob("*.jsonl"))
+        if len(shards) < 2:
+            pytest.skip("both digests landed in one shard")
+        shards[0].unlink()  # index still lists it
+
+        reopened = RunStore(tmp_path)
+        assert len(reopened) == 1
+
+    def test_flush_is_atomic(self, tmp_path, result):
+        store = RunStore(tmp_path)
+        store.put(store.digest(CFG), CFG, result)
+        store.flush()
+        assert json.loads((tmp_path / "index.json").read_text())["entries"] == 1
+        assert not (tmp_path / "index.json.tmp").exists()
+
     def test_stats_snapshot(self, tmp_path, result):
         store = RunStore(tmp_path)
         store.put(store.digest(CFG), CFG, result)

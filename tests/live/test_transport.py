@@ -1,0 +1,187 @@
+"""LiveTransport: delivery semantics, both backends.
+
+The assertions mirror the simulated transport's contract — same scope
+rules, same counter names, same cost hooks — plus the one guarantee the
+live layer adds on top: payload *object identity* survives the trip,
+because the paper's admission protocol settles migrations by mutating a
+shared Task (see the transport module docstring).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.live.scheduler import LiveScheduler
+from repro.live.transport import LiveTransport
+from repro.network import generators
+
+
+def go(coro):
+    return asyncio.run(coro)
+
+
+async def settle(rounds: int = 50) -> None:
+    """Yield enough loop iterations for mailbox tasks / UDP reads.
+
+    The non-zero sleeps force real selector polls so loopback datagrams
+    are drained even on a loaded CI machine; total budget stays ~50 ms.
+    """
+    for _ in range(rounds):
+        await asyncio.sleep(0)
+    for _ in range(10):
+        await asyncio.sleep(0.002)
+
+
+def make(backend: str, topo=None, **kwargs) -> LiveTransport:
+    sim = LiveScheduler(time_scale=1000.0)
+    topo = topo if topo is not None else generators.full_mesh(4)
+    return LiveTransport(sim, topo, backend=backend, latency=0.0, **kwargs)
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["inproc", "udp"])
+    def test_unicast_delivers_and_counts(self, backend):
+        async def run():
+            t = make(backend)
+            got = []
+            t.register(1, "PING", got.append)
+            await t.start()
+            try:
+                assert t.unicast(0, 1, "PING", {"x": 1}) is True
+                await settle()
+            finally:
+                await t.aclose()
+            return t, got
+
+        t, got = go(run())
+        assert len(got) == 1
+        d = got[0]
+        assert (d.src, d.dst, d.kind, d.payload) == (0, 1, "PING", {"x": 1})
+        assert t.sent_messages == 1 and t.delivered_messages == 1
+        assert t.dropped_messages == 0
+
+    @pytest.mark.parametrize("backend", ["inproc", "udp"])
+    def test_payload_object_identity_preserved(self, backend):
+        # the pin for the udp side-table: a mutation by the receiver is
+        # visible to the sender, exactly as in the simulator
+        async def run():
+            t = make(backend)
+            payload = {"granted": False}
+            t.register(2, "REQ", lambda d: d.payload.update(granted=True))
+            await t.start()
+            try:
+                t.unicast(0, 2, "REQ", payload)
+                await settle()
+            finally:
+                await t.aclose()
+            return payload
+
+        assert go(run())["granted"] is True
+
+    @pytest.mark.parametrize("backend", ["inproc", "udp"])
+    def test_clean_close_is_idempotent(self, backend):
+        async def run():
+            t = make(backend)
+            await t.start()
+            await t.aclose()
+            await t.aclose()
+            return t.node_task_count
+
+        assert go(run()) == 0
+
+
+class TestScopeAndLiveness:
+    def test_unicast_to_down_node_drops(self):
+        async def run():
+            t = make("inproc", is_up=lambda n: n != 3)
+            got = []
+            t.register(3, "PING", got.append)
+            await t.start()
+            try:
+                assert t.unicast(0, 3, "PING", None) is False
+                assert t.unicast(3, 0, "PING", None) is False  # down src
+                await settle()
+            finally:
+                await t.aclose()
+            return t, got
+
+        t, got = go(run())
+        assert got == []
+        assert t.dropped_messages == 1  # down dst; a down src never sends
+
+    def test_flood_scopes(self):
+        async def run():
+            t = make("inproc", topo=generators.ring(5))
+            seen = {n: [] for n in range(5)}
+            for n in range(5):
+                t.register(n, "ADV", seen[n].append)
+            await t.start()
+            try:
+                neighbours = t.flood(0, "ADV", None, neighbors_only=True)
+                everyone = t.flood(0, "ADV", None)
+                await settle()
+            finally:
+                await t.aclose()
+            return neighbours, everyone, seen
+
+        neighbours, everyone, seen = go(run())
+        assert sorted(neighbours) == [1, 4]  # ring neighbours of 0
+        assert sorted(everyone) == [1, 2, 3, 4]
+        assert seen[0] == []  # no self-delivery
+        assert len(seen[1]) == 2 and len(seen[3]) == 1
+
+    def test_multicast_explicit_set(self):
+        async def run():
+            t = make("inproc")
+            seen = {n: [] for n in range(4)}
+            for n in range(4):
+                t.register(n, "M", seen[n].append)
+            await t.start()
+            try:
+                receivers = t.multicast(0, [2, 3, 0, 2], "M", None)
+                await settle()
+            finally:
+                await t.aclose()
+            return receivers, seen
+
+        receivers, seen = go(run())
+        assert receivers == [2, 3]  # deduped, sorted, self excluded
+        assert len(seen[2]) == 1 and len(seen[3]) == 1 and seen[1] == []
+
+    def test_unregistered_kind_drops(self):
+        async def run():
+            t = make("inproc")
+            await t.start()
+            try:
+                t.unicast(0, 1, "NOBODY-LISTENS", None)
+                await settle()
+            finally:
+                await t.aclose()
+            return t.dropped_messages
+
+        assert go(run()) == 1
+
+
+class TestAccounting:
+    def test_cost_sink_charged_per_logical_send(self):
+        charges = []
+
+        async def run():
+            t = make("inproc", on_cost=lambda kind, cost: charges.append((kind, cost)))
+            t.register(1, "X", lambda d: None)
+            await t.start()
+            try:
+                t.unicast(0, 1, "X", None)
+                t.flood(0, "X", None)
+                await settle()
+            finally:
+                await t.aclose()
+
+        go(run())
+        # LanCostModel: switched unicast = 1 message, IP multicast = 1
+        assert charges == [("X", 1.0), ("X", 1.0)]
+
+    def test_unknown_backend_rejected(self):
+        sim = LiveScheduler()
+        with pytest.raises(ValueError):
+            LiveTransport(sim, generators.full_mesh(3), backend="carrier-pigeon")

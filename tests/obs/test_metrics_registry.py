@@ -70,6 +70,34 @@ class TestPrimitives:
         assert h.counts[0] == 1   # -3 clamps low
         assert h.counts[-1] == 1  # 7 clamps high
 
+    def test_histogram_observe_scalar_matches_accumulate(self):
+        via_observe = Histogram("o", np.linspace(0.0, 1.0, 11))
+        via_batch = Histogram("b", np.linspace(0.0, 1.0, 11))
+        values = [0.02, 0.33, 0.99, -1.0, 2.0, 0.61]
+        for v in values:
+            via_observe.observe(v)
+        via_batch.accumulate(np.array(values))
+        assert via_observe.counts.tolist() == via_batch.counts.tolist()
+        # generic (non-uniform) path too
+        gen = Histogram("g", [0.0, 0.1, 0.25, 0.5, 0.75, 1.0])
+        for v in values:
+            gen.observe(v)
+        assert gen.total() == len(values)
+
+    def test_histogram_percentile(self):
+        h = Histogram("p", np.linspace(0.0, 100.0, 101))  # 1-wide bins
+        for v in range(100):
+            h.observe(v + 0.5)  # one sample per bin
+        assert h.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert h.percentile(99) == pytest.approx(99.0, abs=1.0)
+        assert h.percentile(0) <= h.percentile(100)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_histogram_percentile_empty_is_nan(self):
+        h = Histogram("e", np.linspace(0.0, 1.0, 5))
+        assert np.isnan(h.percentile(50))
+
 
 class TestRegistry:
     def test_record_creates_series_lazily(self):

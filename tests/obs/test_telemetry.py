@@ -47,6 +47,23 @@ class TestProtocolRollup:
         r = ProtocolRollup()
         assert r.message_rate == r.loss_rate == r.admission == 0.0
 
+    def test_zero_arrival_runs_do_not_dilute_loss_rate(self):
+        # pinning: a run with zero generated tasks has no loss rate at
+        # all.  It used to contribute 0.0 to the mean anyway, so a sweep
+        # mixing idle and loaded runs under-reported losses.
+        r = ProtocolRollup()
+        r.add(make_result(generated=10, admitted=6))   # loss 0.4
+        r.add(make_result(generated=0, admitted=0))    # no arrivals
+        r.add(make_result(generated=0, admitted=0))
+        assert r.runs == 3
+        assert r.loss_runs == 1
+        assert r.loss_rate == pytest.approx(0.4)       # not 0.4 / 3
+
+    def test_all_zero_arrival_runs_loss_rate_zero(self):
+        r = ProtocolRollup()
+        r.add(make_result(generated=0, admitted=0))
+        assert r.loss_rate == 0.0
+
 
 class TestProgressReporter:
     def test_line_per_run_with_eta(self):
@@ -120,6 +137,35 @@ class TestProgressReporter:
         # 20/3*1≈6.7s (the bug: cached run in the denominator)
         assert "elapsed=20.0s eta=10.0s" in lines[2]
         assert rep.cached == 1
+
+    def test_fully_cached_plan_renders_without_dividing_by_zero(self):
+        # pinning: a resumed plan that resolves to 100% store hits has
+        # *zero* simulated runs — every line and the summary must still
+        # render (eta from a 0-run average used to divide by zero).
+        out = io.StringIO()
+        clock = FakeClock()
+        rep = ProgressReporter(3, stream=out, clock=clock)
+        cfg = ExperimentConfig(protocol="realtor", arrival_rate=5.0)
+        for _ in range(3):
+            clock.t += 2.0
+            rep.update(cfg, make_result(), cached=True)
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            assert "eta=0.0s" in line
+        assert rep.cached == 3 and rep.completed == 3
+        assert "(3 served from store)" in rep.summary()
+
+    def test_fully_cached_idle_runs_roll_up_cleanly(self):
+        # the degenerate corner: all cache hits *and* all runs idle
+        # (zero arrivals) — both guarded denominators at once
+        rep = ProgressReporter(2, stream=io.StringIO(), clock=FakeClock())
+        cfg = ExperimentConfig(protocol="realtor")
+        for _ in range(2):
+            rep.update(cfg, make_result(generated=0, admitted=0), cached=True)
+        rollup = rep.rollups["realtor"]
+        assert rollup.loss_rate == 0.0 and rollup.loss_runs == 0
+        assert "sweep complete" in rep.summary()
 
     def test_summary_reports_store_hits(self):
         rep = ProgressReporter(2, stream=io.StringIO(), clock=FakeClock())
