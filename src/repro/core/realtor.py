@@ -176,6 +176,7 @@ class RealtorAgent(DiscoveryAgent):
         self.community.on_pledge(pledge, self.sim.now)
         available = pledge.usage < self.config.threshold
         self.community.mark_available(pledge.pledger, available)
+        self.view.observe_latency(pledge.pledger, self.sim.now - pledge.sent_at)
         self.view.update(
             pledge.pledger, pledge.availability, pledge.usage, available, pledge.sent_at
         )

@@ -42,6 +42,7 @@ __all__ = [
     "ablate_modern_baselines",
     "ablate_topology",
     "ablate_latency",
+    "ablate_ranking",
 ]
 
 
@@ -596,6 +597,71 @@ def ablate_latency(
     return AblationResult(
         f"B3 per-hop latency (lambda={arrival_rate:g})",
         ["latency-s", "P(admit)", "mig-rate", "response-mean"],
+        rows,
+        raw,
+    )
+
+
+def ablate_ranking(
+    policies: Sequence[str] = ("headroom", "latency", "reliability", "composite"),
+    *,
+    arrival_rate: float = 9.0,
+    horizon: float = 2_000.0,
+    seed: int = 1,
+    protocol: str = "realtor",
+    heterogeneous: bool = True,
+    churn_rate: float = 0.02,
+    store: Optional["RunStore"] = None,
+    parallel: bool = False,
+) -> AblationResult:
+    """B4: candidate-ranking policies under a heterogeneous, churning fleet.
+
+    The comparison the ranking seam exists for: headroom (the paper)
+    vs latency / reliability / Dubey-Tokekar composite scoring, with
+    common random numbers across policies (same arrivals, same fleet
+    draws, same churn schedule — only the candidate ordering differs).
+    Survivability columns (admission probability, mis-rank rate) sit
+    next to message cost so the overhead of a smarter ranking is
+    visible in the same table.
+    """
+    from ..workload.churn import ChurnConfig
+    from ..workload.fleet import FleetConfig
+
+    base = paper_config(protocol, arrival_rate, seed=seed, horizon=horizon)
+    if heterogeneous:
+        base = base.with_(fleet=FleetConfig.heterogeneous())
+    if churn_rate > 0:
+        base = base.with_(
+            churn=ChurnConfig(join_rate=churn_rate, leave_rate=churn_rate)
+        )
+    items = [
+        (
+            policy,
+            base.with_(
+                protocol_config=base.protocol_config.with_(ranking_policy=policy)
+            ),
+        )
+        for policy in policies
+    ]
+    raw = _run_grid("B4-ranking", items, store=store, parallel=parallel)
+    rows: List[List[object]] = []
+    for policy in policies:
+        res = raw[policy]
+        rows.append(
+            [
+                policy,
+                res.admission_probability,
+                res.migration_rate,
+                res.messages_per_admitted,
+                res.extra.get("misrank_rate", 0.0),
+                res.extra.get("fallback_depth_mean", 0.0),
+            ]
+        )
+    return AblationResult(
+        f"B4 ranking policy (lambda={arrival_rate:g}, "
+        f"fleet={'heterogeneous' if heterogeneous else 'uniform'}, "
+        f"churn={churn_rate:g}/s)",
+        ["policy", "P(admit)", "mig-rate", "msg/task", "misrank", "fb-depth"],
         rows,
         raw,
     )

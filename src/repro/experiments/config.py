@@ -16,6 +16,8 @@ from typing import Optional, Tuple
 from ..network.impairments import ImpairmentConfig
 from ..obs.config import ObsConfig
 from ..protocols.base import ProtocolConfig
+from ..workload.churn import ChurnConfig
+from ..workload.fleet import FleetConfig
 
 __all__ = ["ExperimentConfig", "paper_config", "PAPER_LAMBDAS"]
 
@@ -57,6 +59,17 @@ class ExperimentConfig:
     security_levels: Tuple[float, ...] = ()
     #: fraction of tasks requiring security level >= 1.0 (0 disables)
     secure_task_fraction: float = 0.0
+    #: heterogeneous-fleet axis: per-node capacity/speed/threshold/
+    #: resource-scale distributions drawn from the ``fleet[n]`` named RNG
+    #: substreams.  ``None`` (default) is the paper's uniform fleet —
+    #: byte-identical to the pre-fleet traces, no stream touched.
+    fleet: Optional[FleetConfig] = None
+
+    # Churn -----------------------------------------------------------------
+    #: continuous join/leave churn generated from the kernel's ``"churn"``
+    #: named substream and installed by the runner; ``None`` (default) or
+    #: zero rates keep the static paper overlay — byte-identical.
+    churn: Optional[ChurnConfig] = None
 
     # Topology ----------------------------------------------------------------
     #: mesh | torus | ring | star | full | tree | random | scale-free
@@ -152,7 +165,7 @@ class ExperimentConfig:
 
     def params(self) -> dict:
         """Self-description embedded in results."""
-        return {
+        out = {
             "protocol": self.protocol,
             "lambda": self.arrival_rate,
             "seed": self.seed,
@@ -161,7 +174,14 @@ class ExperimentConfig:
             "queue": self.queue_capacity,
             "policy": self.policy,
             "topology": self.topology,
+            "ranking": self.protocol_config.ranking_policy,
         }
+        if self.fleet is not None:
+            out["fleet"] = self.fleet.name
+        if self.churn is not None and self.churn.active:
+            out["churn_join_rate"] = self.churn.join_rate
+            out["churn_leave_rate"] = self.churn.leave_rate
+        return out
 
 
 def paper_config(

@@ -52,6 +52,9 @@ __all__ = [
     "grid_plan",
     "confidence_plan",
     "scaling_plan",
+    "ranking_plan",
+    "churn_plan",
+    "fleet_plan",
 ]
 
 #: shapes a flat, plan-ordered result list into the driver's output
@@ -238,6 +241,79 @@ def scaling_plan(
         return out
 
     return ExperimentPlan("scaling", cells, reduce)
+
+
+def ranking_plan(
+    policies: Sequence[str],
+    rates: Sequence[float],
+    base: ExperimentConfig,
+) -> ExperimentPlan:
+    """The (ranking policy × rate) grid under one protocol.
+
+    Every cell shares ``base``'s seed (common random numbers), so curve
+    differences are *ranking* effects: same arrivals, same sizes, same
+    fleet and churn draws — only the candidate ordering changes.
+    Reduces to ``[policy][rate] -> RunResult``.
+    """
+    policies = list(policies)
+    if not policies:
+        raise ValueError("no ranking policies given")
+    cells = tuple(
+        PlanCell(
+            key=(policy, rate),
+            config=base.with_(
+                protocol_config=base.protocol_config.with_(ranking_policy=policy),
+                arrival_rate=rate,
+            ),
+        )
+        for policy in policies
+        for rate in (canonical_rate(r) for r in rates)
+    )
+
+    def reduce(plan: ExperimentPlan, results: Sequence[RunResult]) -> object:
+        out: Dict[str, Dict[float, RunResult]] = {p: {} for p in policies}
+        for cell, res in zip(plan.cells, results):
+            policy, rate = cell.key
+            out[policy][rate] = res
+        return out
+
+    return ExperimentPlan("ranking", cells, reduce)
+
+
+def churn_plan(
+    churn_configs: Sequence[Tuple[object, object]],
+    base: ExperimentConfig,
+) -> ExperimentPlan:
+    """A sweep over churn intensities: ``(key, ChurnConfig)`` pairs.
+
+    Reduces to ``{key: RunResult}`` in item order.  ``None`` as a config
+    runs the static overlay (the no-churn control point).
+    """
+    items = list(churn_configs)
+    if not items:
+        raise ValueError("no churn configs given")
+    return grid_plan(
+        "churn",
+        [(key, base.with_(churn=cc)) for key, cc in items],
+    )
+
+
+def fleet_plan(
+    fleets: Sequence[Tuple[object, object]],
+    base: ExperimentConfig,
+) -> ExperimentPlan:
+    """A sweep over fleet mixes: ``(key, FleetConfig)`` pairs.
+
+    Reduces to ``{key: RunResult}`` in item order.  ``None`` as a fleet
+    runs the uniform paper fleet (the homogeneous control point).
+    """
+    items = list(fleets)
+    if not items:
+        raise ValueError("no fleets given")
+    return grid_plan(
+        "fleet",
+        [(key, base.with_(fleet=fc)) for key, fc in items],
+    )
 
 
 def confidence_plan(

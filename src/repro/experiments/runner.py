@@ -36,6 +36,8 @@ from ..sim.kernel import Simulator
 from ..sim.trace import Tracer
 from ..workload.arrivals import ArrivalGenerator, PoissonArrivals
 from ..workload.attack import AttackPlan
+from ..workload.churn import poisson_churn
+from ..workload.fleet import NodeParams, fleet_summary, node_params
 from ..workload.sizes import make_sampler
 from .config import ExperimentConfig
 
@@ -68,15 +70,20 @@ def _build_topology(cfg: ExperimentConfig) -> Topology:
     raise ValueError(f"unknown topology: {cfg.topology!r}")
 
 
-def _build_pool(cfg: ExperimentConfig, node_id: int):
-    """Per-host resource pool for the multi-resource extension, or None."""
+def _build_pool(cfg: ExperimentConfig, node_id: int, scale: float = 1.0):
+    """Per-host resource pool for the multi-resource extension, or None.
+
+    ``scale`` is the fleet's per-node resource multiplier: consumable
+    capacities scale with it, LEVEL resources (security) do not — a
+    bigger machine has more bandwidth, not a higher clearance.
+    """
     if not cfg.extra_resources and not cfg.security_levels:
         return None
     from ..node.resources import ResourceKind, ResourcePool, ResourceSpec
 
     pool = ResourcePool()
     for name, capacity in cfg.extra_resources:
-        pool.declare(ResourceSpec(name, capacity))
+        pool.declare(ResourceSpec(name, capacity * scale))
     if cfg.security_levels:
         level = cfg.security_levels[node_id % len(cfg.security_levels)]
         pool.declare(ResourceSpec("security", level, ResourceKind.LEVEL))
@@ -121,6 +128,15 @@ class System:
     #: ``cfg.obs`` enables them (None keeps the run byte-identical)
     registry: Optional[MetricsRegistry] = None
     recorder: Optional[FlightRecorder] = None
+    #: materialised per-node fleet parameters (None for a uniform fleet);
+    #: joiners drawn mid-run are appended so the spread summary covers
+    #: every node that ever existed
+    fleet_params: Optional[Dict[int, NodeParams]] = None
+    #: continuous-churn accounting (see the runner's churn installer)
+    churn_joins: int = 0
+    churn_leaves: int = 0
+    churn_skipped: int = 0
+    churn_scheduled: int = 0
 
     def run(self, until: Optional[float] = None, *, profile=None) -> float:
         """Drive the kernel to the horizon.
@@ -151,13 +167,27 @@ class System:
         for peer in peers:
             self.topo.add_link(node_id, peer)
 
+        # A joiner draws from the same per-node fleet stream it would
+        # have used at build time (streams are seeded by name, not by
+        # creation order), so a node's parameters do not depend on when
+        # it joins — part of the churn determinism contract.
+        params = node_params(
+            self.cfg.fleet,
+            self.sim.streams,
+            node_id,
+            default_capacity=self.cfg.queue_capacity,
+            default_threshold=self.cfg.protocol_config.threshold,
+        )
+        if self.fleet_params is not None:
+            self.fleet_params[node_id] = params
         host = Host(
             self.sim,
             node_id,
-            capacity=self.cfg.queue_capacity,
-            threshold=self.cfg.protocol_config.threshold,
-            pool=_build_pool(self.cfg, node_id),
+            capacity=params.capacity,
+            threshold=params.threshold,
+            pool=_build_pool(self.cfg, node_id, params.resource_scale),
             on_complete=self.metrics.task_completed,
+            speed=params.speed,
         )
         ctx = ProtocolContext(
             sim=self.sim,
@@ -257,6 +287,22 @@ class System:
         self.metrics.extra["negotiation_timeouts"] = float(
             sum(a.timeouts_fired for a in self.admissions.values())
         )
+        # Ranking-quality scorecard: how often the top-ranked candidate
+        # failed (mis-rank) and how deep granted placements had to walk
+        # (fallback depth) — the per-policy comparison axis.
+        for key, value in self.coordinator.ranking_stats().items():
+            self.metrics.extra[key] = value
+        # Churn accounting (all zero on a static overlay).
+        if self.cfg.churn is not None and self.cfg.churn.active:
+            self.metrics.extra["churn_scheduled"] = float(self.churn_scheduled)
+            self.metrics.extra["churn_joins"] = float(self.churn_joins)
+            self.metrics.extra["churn_leaves"] = float(self.churn_leaves)
+            self.metrics.extra["churn_skipped"] = float(self.churn_skipped)
+            self.metrics.extra["nodes_final"] = float(len(self.faults.up_nodes()))
+        # Fleet spread diagnostics (absent for the uniform fleet).
+        if self.fleet_params:
+            for key, value in fleet_summary(self.fleet_params.values()).items():
+                self.metrics.extra[key] = value
         if self.transport.impairments is not None:
             for key, value in self.transport.impairments.counters().items():
                 self.metrics.extra[f"impairment_{key}"] = float(value)
@@ -323,15 +369,31 @@ def build_system(cfg: ExperimentConfig) -> System:
     )
     nodes = topo.nodes()
 
+    # Heterogeneous fleet: each node's (capacity, speed, threshold,
+    # resource scale) comes from its own named stream; fleet=None keeps
+    # the uniform paper fleet and touches no stream at all.
+    fleet_params: Optional[Dict[int, NodeParams]] = (
+        {} if cfg.fleet is not None else None
+    )
     hosts: Dict[int, Host] = {}
     for nid in nodes:
+        params = node_params(
+            cfg.fleet,
+            sim.streams,
+            nid,
+            default_capacity=cfg.queue_capacity,
+            default_threshold=cfg.protocol_config.threshold,
+        )
+        if fleet_params is not None:
+            fleet_params[nid] = params
         hosts[nid] = Host(
             sim,
             nid,
-            capacity=cfg.queue_capacity,
-            threshold=cfg.protocol_config.threshold,
-            pool=_build_pool(cfg, nid),
+            capacity=params.capacity,
+            threshold=params.threshold,
+            pool=_build_pool(cfg, nid, params.resource_scale),
             on_complete=metrics.task_completed,
+            speed=params.speed,
         )
 
     # Shared numpy mirror of per-node state: every queue/monitor mutation
@@ -483,7 +545,7 @@ def build_system(cfg: ExperimentConfig) -> System:
         registry.attach_recorder(recorder)
         registry.start()
 
-    return System(
+    system = System(
         cfg=cfg,
         sim=sim,
         topo=topo,
@@ -498,7 +560,60 @@ def build_system(cfg: ExperimentConfig) -> System:
         state=state,
         registry=registry,
         recorder=recorder,
+        fleet_params=fleet_params,
     )
+
+    # Continuous churn: the schedule is generated up front from the
+    # kernel's named "churn" substream (same seed => same schedule,
+    # serial or parallel, scalar or batched) and installed as kernel
+    # events.  Callbacks are guarded — by the time an event fires, the
+    # population may have shifted under faults/chaos layers, so a join
+    # re-targets dead attach points and a leave of an already-down or
+    # last-remaining node is skipped, not an error.
+    if cfg.churn is not None and cfg.churn.active:
+        _install_churn(system)
+
+    return system
+
+
+def _install_churn(system: System) -> None:
+    cfg = system.cfg
+    churn = cfg.churn
+    schedule = poisson_churn(
+        system.topo.nodes(),
+        horizon=cfg.horizon,
+        join_rate=churn.join_rate,
+        leave_rate=churn.leave_rate,
+        rng=system.sim.streams.stream("churn"),
+        attach_degree=churn.attach_degree,
+    )
+    system.churn_scheduled = len(schedule)
+
+    def on_join(node_id: int, attach_to) -> None:
+        live = [
+            p
+            for p in attach_to
+            if system.topo.has_node(p) and system.faults.is_up(p)
+        ]
+        try:
+            # dead attach targets fall back to the lowest-id live node
+            system.add_node(node_id, attach_to=live or None)
+        except (RuntimeError, ValueError):
+            system.churn_skipped += 1
+            return
+        system.churn_joins += 1
+
+    def on_leave(node_id: int) -> None:
+        if node_id not in system.hosts or not system.faults.is_up(node_id):
+            system.churn_skipped += 1
+            return
+        if len(system.faults.up_nodes()) <= 2:
+            system.churn_skipped += 1  # keep a minimal system alive
+            return
+        system.remove_node(node_id, graceful=churn.graceful)
+        system.churn_leaves += 1
+
+    schedule.install(system.sim, on_join, on_leave)
 
 
 def run_experiment(

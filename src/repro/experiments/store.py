@@ -55,7 +55,9 @@ STORE_FORMAT = "repro-runstore/1"
 #: bump on any change that alters run semantics for identical configs
 #: 2: ProtocolConfig gained synchronized_rounds (digest shape changed)
 #: 3: ExperimentConfig gained obs; RunResult gained series + cohort extras
-CODE_VERSION = "3"
+#: 4: ranking seam (ProtocolConfig.ranking_policy), fleet/churn axes on
+#:    ExperimentConfig, ranking/churn/fleet extras on RunResult
+CODE_VERSION = "4"
 
 
 def default_salt() -> str:

@@ -50,6 +50,7 @@ from ..obs.telemetry import ProtocolRollup
 from ..protocols.base import DiscoveryAgent, ProtocolConfig, ProtocolContext
 from ..protocols.registry import make_agent
 from ..workload.arrivals import ArrivalGenerator, PoissonArrivals
+from ..workload.fleet import FleetConfig, node_params
 from ..workload.sizes import make_sampler
 
 from .scheduler import LiveScheduler
@@ -101,6 +102,13 @@ class LiveConfig:
     #: progress-line cadence, virtual seconds (None = silent)
     progress_interval: Optional[float] = None
     obs_stride: int = 4
+    #: heterogeneous-fleet axis — the *same* ``fleet[n]`` named RNG
+    #: substreams as :func:`~repro.experiments.runner.build_system`, so a
+    #: live run and a sim run with one seed materialise the identical
+    #: fleet.  ``None`` keeps the uniform fleet (no stream touched).
+    #: Continuous churn has no live analogue yet: live overlays change
+    #: only through :class:`~repro.network.faults.FaultManager` scripts.
+    fleet: Optional["FleetConfig"] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 2:
@@ -190,11 +198,19 @@ class LiveRuntime:
 
         self.hosts: Dict[int, Host] = {}
         for nid in nodes:
+            params = node_params(
+                cfg.fleet,
+                self.sim.streams,
+                nid,
+                default_capacity=cfg.queue_capacity,
+                default_threshold=cfg.protocol_config.threshold,
+            )
             self.hosts[nid] = Host(
                 self.sim,
                 nid,
-                capacity=cfg.queue_capacity,
-                threshold=cfg.protocol_config.threshold,
+                capacity=params.capacity,
+                threshold=params.threshold,
+                speed=params.speed,
                 on_complete=self.metrics.task_completed,
             )
         self.state = NodeStateArrays(nodes)

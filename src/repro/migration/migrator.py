@@ -87,6 +87,15 @@ class MigrationCoordinator:
         #: negotiation was lost (see ``_give_up``); nonzero only under
         #: loss impairments or mid-negotiation faults
         self.orphaned_grants = 0
+        #: ranking-quality accounting: a *mis-rank* is a top-ranked
+        #: candidate that failed its negotiation (the view believed it
+        #: best, reality disagreed); *fallback depth* is how far down the
+        #: ranked list a granted placement had to walk.  Both are policy
+        #: scorecards — a better ranking drives both toward zero.
+        self.first_choice_attempts = 0
+        self.first_choice_failures = 0
+        self.fallback_depth_sum = 0
+        self.placements_granted = 0
 
     # Placement ------------------------------------------------------------
 
@@ -153,7 +162,17 @@ class MigrationCoordinator:
             success = granted
             if outcome is TaskOutcome.MIGRATED:
                 self.metrics.migration_attempt(success)
+            # Feed the origin view's observation side-table (no-op under
+            # the default headroom policy) and the ranking scorecard.
+            reason = admission.last_reason or ("granted" if granted else "refused")
+            self.agents[task.origin].view.observe_outcome(candidate, reason)
+            if idx == 0:
+                self.first_choice_attempts += 1
+                if not granted:
+                    self.first_choice_failures += 1
             if granted:
+                self.placements_granted += 1
+                self.fallback_depth_sum += idx
                 # The responder already reserved and admitted the task.
                 self.metrics.task_admitted(task)
                 if outcome is TaskOutcome.EVACUATED:
@@ -233,6 +252,21 @@ class MigrationCoordinator:
             self.metrics.evacuation(False)
         self.sim.trace.emit(self.sim.now, "rejection", task=task.task_id, src=task.origin)
 
+    def ranking_stats(self) -> Dict[str, float]:
+        """Ranking-quality scorecard for the run summary / telemetry."""
+        attempts = self.first_choice_attempts
+        granted = self.placements_granted
+        return {
+            "misrank_rate": (
+                self.first_choice_failures / attempts if attempts else 0.0
+            ),
+            "fallback_depth_mean": (
+                self.fallback_depth_sum / granted if granted else 0.0
+            ),
+            "first_choice_attempts": float(attempts),
+            "first_choice_failures": float(self.first_choice_failures),
+        }
+
     # Survivability -----------------------------------------------------------
 
     def handle_fault(self, node: int, state: NodeState) -> None:
@@ -290,7 +324,11 @@ class MigrationCoordinator:
             )
 
         def _done(granted: bool) -> None:
+            reason = admission.last_reason or ("granted" if granted else "refused")
+            self.agents[task.origin].view.observe_outcome(candidate, reason)
+            self.first_choice_attempts += 1
             if granted:
+                self.placements_granted += 1
                 self.metrics.evacuation(True)
                 self.sim.trace.emit(
                     self.sim.now,
@@ -300,6 +338,7 @@ class MigrationCoordinator:
                     dst=candidate,
                 )
             else:
+                self.first_choice_failures += 1
                 task.mark_lost()
                 self.metrics.evacuation(False)
                 self.metrics.task_lost(task)

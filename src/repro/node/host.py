@@ -56,6 +56,9 @@ class Host:
         Optional extra resources (multi-resource extension).
     on_complete:
         Callback per finished task, forwarded to the queue.
+    speed:
+        Service-rate multiplier forwarded to the queue (heterogeneous
+        fleet axis; 1.0 = the paper's unit-rate CPU).
     """
 
     def __init__(
@@ -66,10 +69,11 @@ class Host:
         threshold: float = 0.9,
         pool: Optional[ResourcePool] = None,
         on_complete: Optional[Callable[[Task], None]] = None,
+        speed: float = 1.0,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
-        self.queue = WorkQueue(sim, capacity, on_complete=self._task_done)
+        self.queue = WorkQueue(sim, capacity, on_complete=self._task_done, speed=speed)
         self.monitor = ThresholdMonitor(sim, self.queue, threshold)
         self.pool = pool
         self._user_on_complete = on_complete

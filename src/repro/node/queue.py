@@ -58,6 +58,14 @@ class WorkQueue:
         testbed of Section 6).
     on_complete:
         Optional callback ``(task)`` fired when a task finishes.
+    speed:
+        Service-rate multiplier of this node's CPU (the heterogeneous
+        fleet axis).  A task of size ``s`` occupies the server for
+        ``s / speed`` wall seconds; backlog, capacity and headroom all
+        stay in *wall* seconds, so the analytic ``busy_until`` model and
+        the vectorized state mirror are unchanged.  The default ``1.0``
+        is the paper's unit-rate CPU and is bit-identical to the
+        pre-fleet behaviour (``x / 1.0 == x`` exactly in IEEE 754).
     """
 
     def __init__(
@@ -65,11 +73,15 @@ class WorkQueue:
         sim: "SchedulerAPI",
         capacity: float,
         on_complete: Optional[Callable[[Task], None]] = None,
+        speed: float = 1.0,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
         self.sim = sim
         self.capacity = float(capacity)
+        self.speed = float(speed)
         self.on_complete = on_complete
         self.busy_until = 0.0
         self._resident: Deque[list] = deque()
@@ -112,8 +124,8 @@ class WorkQueue:
         return self.capacity - self.backlog(now)
 
     def fits(self, size: float, now: Optional[float] = None) -> bool:
-        """The paper's admission test: backlog + size <= capacity."""
-        return size <= self.headroom(now) + 1e-12
+        """The paper's admission test: backlog + service time <= capacity."""
+        return size / self.speed <= self.headroom(now) + 1e-12
 
     def resident_tasks(self) -> List[Task]:
         """Tasks admitted but not yet completed (FIFO order)."""
@@ -154,8 +166,8 @@ class WorkQueue:
         now = self.sim.now
         busy = self.busy_until
         start = busy if busy > now else now
-        completion = start + task.size
-        # completion - now == backlog + size; same test as fits().
+        completion = start + task.size / self.speed
+        # completion - now == backlog + service; same test as fits().
         if completion - now > self.capacity + 1e-12:
             return None
         self.busy_until = completion
@@ -228,11 +240,11 @@ class WorkQueue:
         now = self.sim.now
         # Already-started work cannot be withdrawn: only the head task has
         # started, and only if the server is busy.
+        service = task.size / self.speed
         if entry is resident[0] and self.busy_until > now:
-            started_for = now - (entry[_COMPLETION] - task.size)
+            started_for = now - (entry[_COMPLETION] - service)
             if started_for > 1e-12:
                 raise ValueError(f"task {task.task_id} already started")
-        size = task.size
         cancel = self.sim.cancel
         cancel(entry[_EVENT])
         behind = False
@@ -242,7 +254,7 @@ class WorkQueue:
                 continue
             if behind:
                 cancel(e[_EVENT])
-                c2 = e[_COMPLETION] - size
+                c2 = e[_COMPLETION] - service
                 e[_COMPLETION] = c2
                 e[_EVENT] = self.sim.at(
                     c2 if c2 > now else now,
@@ -253,7 +265,7 @@ class WorkQueue:
                 )
         resident.remove(entry)
         del self._index[task.task_id]
-        self.busy_until -= size
+        self.busy_until -= service
         if self._mirror is not None:
             self._mirror[self._mirror_slot] = self.busy_until
         # The withdrawn task re-enters the placement pipeline.

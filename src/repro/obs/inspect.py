@@ -157,6 +157,11 @@ def summarize(entries: Sequence[RunEntry]) -> str:
     rows = []
     for i, e in enumerate(entries):
         r = e.result
+        churn = (
+            f"{e.params['churn_join_rate']}/{e.params['churn_leave_rate']}"
+            if "churn_join_rate" in e.params
+            else "-"
+        )
         rows.append(
             [
                 f"#{i}",
@@ -165,6 +170,11 @@ def summarize(entries: Sequence[RunEntry]) -> str:
                 e.params.get("lambda", "?"),
                 e.seed,
                 e.params.get("nodes", "?"),
+                # pre-ranking-seam stores carry no "ranking" key; every
+                # run they hold used the then-only headroom ordering
+                e.params.get("ranking", "headroom"),
+                e.params.get("fleet", "-"),
+                churn,
                 r.generated,
                 r.admission_probability,
                 r.completed,
@@ -173,7 +183,7 @@ def summarize(entries: Sequence[RunEntry]) -> str:
         )
     return format_table(
         ["run", "digest", "protocol", "lambda", "seed", "nodes",
-         "gen", "adm", "done", "series"],
+         "ranking", "fleet", "churn", "gen", "adm", "done", "series"],
         rows,
     )
 
@@ -299,6 +309,33 @@ def run_report(
         )
     )
     extra = r.extra or {}
+    if "ranking" in r.params or extra.get("first_choice_attempts", 0.0):
+        lines.append(
+            "candidate ranking: "
+            f"policy={r.params.get('ranking', 'headroom')} "
+            f"misrank={extra.get('misrank_rate', 0.0):.3f} "
+            f"fallback-depth={extra.get('fallback_depth_mean', 0.0):.2f} "
+            f"({extra.get('first_choice_attempts', 0.0):.0f} first-choice "
+            f"attempts)"
+        )
+    if "fleet" in r.params:
+        lines.append(
+            "fleet: "
+            f"{r.params['fleet']} "
+            f"capacity mean={extra.get('fleet_capacity_mean', 0.0):.1f} "
+            f"cv={extra.get('fleet_capacity_cv', 0.0):.3f}, "
+            f"speed mean={extra.get('fleet_speed_mean', 0.0):.2f} "
+            f"cv={extra.get('fleet_speed_cv', 0.0):.3f}"
+        )
+    if extra.get("churn_scheduled", 0.0):
+        lines.append(
+            "churn: "
+            f"{extra.get('churn_joins', 0.0):.0f} joins / "
+            f"{extra.get('churn_leaves', 0.0):.0f} leaves applied, "
+            f"{extra.get('churn_skipped', 0.0):.0f} skipped of "
+            f"{extra.get('churn_scheduled', 0.0):.0f} scheduled; "
+            f"{extra.get('nodes_final', 0.0):.0f} nodes at horizon"
+        )
     if extra.get("cohorts", 0.0):
         lines.append(
             "cohort batching: "

@@ -36,6 +36,13 @@ class ProtocolRollup:
     admitted_sum: float = 0.0       # admission probability
     drops_sum: float = 0.0          # messages dropped (impairments/dead dst)
     retries_sum: float = 0.0        # recovery actions: HELP retries + fallbacks
+    #: candidate-ranking quality: runs whose migrator attempted at least
+    #: one first-choice negotiation (the misrank denominator), summed
+    #: misrank rate and fallback depth over those runs.  Zero-attempt
+    #: runs (nothing migrated) carry no ranking signal at all.
+    ranking_runs: int = 0
+    misrank_sum: float = 0.0
+    fallback_depth_sum: float = 0.0
 
     def add(self, result: RunResult) -> None:
         self.runs += 1
@@ -50,6 +57,10 @@ class ProtocolRollup:
         self.retries_sum += extra.get("help_retries", 0.0) + extra.get(
             "migration_fallbacks", 0.0
         )
+        if extra.get("first_choice_attempts", 0.0):
+            self.ranking_runs += 1
+            self.misrank_sum += extra.get("misrank_rate", 0.0)
+            self.fallback_depth_sum += extra.get("fallback_depth_mean", 0.0)
 
     @property
     def message_rate(self) -> float:
@@ -73,6 +84,20 @@ class ProtocolRollup:
     def retries(self) -> float:
         """Mean protocol recovery actions per run."""
         return self.retries_sum / self.runs if self.runs else 0.0
+
+    @property
+    def misrank_rate(self) -> float:
+        """Mean misrank rate over runs that attempted migrations."""
+        return self.misrank_sum / self.ranking_runs if self.ranking_runs else 0.0
+
+    @property
+    def fallback_depth(self) -> float:
+        """Mean granted-fallback depth over runs that attempted migrations."""
+        return (
+            self.fallback_depth_sum / self.ranking_runs
+            if self.ranking_runs
+            else 0.0
+        )
 
 
 class ProgressReporter:
@@ -161,6 +186,11 @@ class ProgressReporter:
         impaired = ""
         if rollup.drops_sum > 0 or rollup.retries_sum > 0:
             impaired = f"drops={rollup.drops:.1f} retries={rollup.retries:.1f} "
+        # misrank column only appears once a run actually misranks, so
+        # perfect-ranking (and ranking-less) sweep output stays as before
+        ranking = ""
+        if rollup.misrank_sum > 0:
+            ranking = f"misrank={rollup.misrank_rate:.3f} "
         # cache column only appears once a store serves a hit, so
         # store-less sweep output stays exactly as before
         cache = f"cached={self.cached} " if self.cached else ""
@@ -171,6 +201,7 @@ class ProgressReporter:
             f"msg/s={rollup.message_rate:.1f} "
             f"loss={rollup.loss_rate:.3f} "
             f"{impaired}"
+            f"{ranking}"
             f"{cache}"
             f"elapsed={elapsed:.1f}s eta={eta:.1f}s"
         )
@@ -179,10 +210,15 @@ class ProgressReporter:
         """Final per-protocol rollup table."""
         from ..metrics.report import format_table
 
-        rows = [
-            [proto, r.runs, r.admission, r.message_rate, r.loss_rate]
-            for proto, r in sorted(self.rollups.items())
-        ]
+        # the ranking columns join the table only when some run produced
+        # a ranking signal, keeping ranking-less sweep output unchanged
+        with_ranking = any(r.ranking_runs for r in self.rollups.values())
+        rows = []
+        for proto, r in sorted(self.rollups.items()):
+            row = [proto, r.runs, r.admission, r.message_rate, r.loss_rate]
+            if with_ranking:
+                row += [r.misrank_rate, r.fallback_depth]
+            rows.append(row)
         header = (
             f"[obs] sweep complete: {self.completed}/{self.total} runs"
         )
@@ -190,6 +226,7 @@ class ProgressReporter:
             header += f" ({self.cached} served from store)"
         if not rows:
             return header
-        return header + "\n" + format_table(
-            ["protocol", "runs", "adm", "msg/s", "loss"], rows
-        )
+        columns = ["protocol", "runs", "adm", "msg/s", "loss"]
+        if with_ranking:
+            columns += ["misrank", "fb-depth"]
+        return header + "\n" + format_table(columns, rows)

@@ -114,6 +114,7 @@ class AdaptivePullAgent(DiscoveryAgent):
                 hops=max(self.transport.router.distance(self.node_id, pledge.pledger), 0),
             )
         available = pledge.usage < self.config.threshold
+        self.view.observe_latency(pledge.pledger, self.sim.now - pledge.sent_at)
         self.view.update(
             pledge.pledger, pledge.availability, pledge.usage, available, pledge.sent_at
         )

@@ -40,6 +40,7 @@ from ..runtime.api import (
     TimerHandle,
     TransportAPI,
 )
+from .ranking import make_ranking, ranking_names
 from .view import ResourceView
 
 __all__ = [
@@ -111,6 +112,13 @@ class ProtocolConfig:
     #: "network" floods the whole overlay.  Message-cost accounting is
     #: identical in both modes (flood = #links), per the paper.
     scope: str = "neighbors"
+    #: candidate-ranking policy for every node's resource view; a name
+    #: from :func:`repro.protocols.ranking.ranking_names` ("headroom" —
+    #: the paper's most-believed-headroom ordering, bit-identical to the
+    #: pre-seam behaviour — "latency", "reliability", or the
+    #: Dubey-Tokekar-style "composite").  Non-default policies turn on
+    #: per-peer observation tracking in the view.
+    ranking_policy: str = "headroom"
     #: when True, fixed-period protocol timers (pure-PUSH advertisements,
     #: gossip rounds) join one shared kernel round per interval —
     #: :meth:`Simulator.shared_periodic
@@ -134,6 +142,11 @@ class ProtocolConfig:
             raise ValueError("need help_retry_budget >= 0 and help_retry_backoff >= 1")
         if self.scope not in ("neighbors", "network"):
             raise ValueError(f"scope must be 'neighbors' or 'network': {self.scope!r}")
+        if self.ranking_policy not in ranking_names():
+            raise ValueError(
+                f"unknown ranking_policy {self.ranking_policy!r}; "
+                f"known: {ranking_names()}"
+            )
 
     def with_(self, **kwargs: object) -> "ProtocolConfig":
         """A modified copy (dataclass is frozen)."""
@@ -172,7 +185,11 @@ class DiscoveryAgent(abc.ABC):
         self.host = ctx.host
         self.config = ctx.config
         self.node_id = ctx.node_id
-        self.view = ResourceView(self.node_id, ttl=ctx.config.view_ttl)
+        self.view = ResourceView(
+            self.node_id,
+            ttl=ctx.config.view_ttl,
+            policy=make_ranking(ctx.config.ranking_policy),
+        )
         self._started = False
 
     # Lifecycle -------------------------------------------------------------

@@ -83,6 +83,7 @@ class PurePullAgent(DiscoveryAgent):
                 latency=self.sim.now - pledge.sent_at,
                 hops=max(self.transport.router.distance(self.node_id, pledge.pledger), 0),
             )
+        self.view.observe_latency(pledge.pledger, self.sim.now - pledge.sent_at)
         self.view.update(
             pledge.pledger,
             pledge.availability,

@@ -7,12 +7,25 @@ only this view — never ground truth — which is precisely what makes the
 push/pull timeliness trade-off of Figure 8 observable: "in pull-based
 approach, information is collected before migration request rises, the
 information can be out-of-dated rather easily."
+
+Candidate *ordering* is delegated to a pluggable
+:class:`~repro.protocols.ranking.RankingPolicy` (default: the paper's
+headroom ranking, bit-identical to the pre-seam behaviour).  Policies
+that declare ``needs_stats`` turn on a per-peer observation side-table
+(:class:`~repro.protocols.ranking.PeerStats`) fed by three sources:
+pledge round-trip latencies (:meth:`ResourceView.observe_latency`),
+admission outcomes from the migration coordinator
+(:meth:`ResourceView.observe_outcome`), and the usage trajectory sampled
+on every :meth:`ResourceView.update`.  With the default policy all three
+feeds are no-ops.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
+
+from .ranking import PeerStats, RankingPolicy, make_ranking
 
 __all__ = ["ViewEntry", "ResourceView"]
 
@@ -26,13 +39,16 @@ class ViewEntry:
     usage: float             # believed usage fraction
     available: bool          # believed below-threshold flag
     timestamp: float         # when the information was generated
+    #: accumulated per-peer observations, shared with the view's
+    #: side-table; ``None`` unless the active ranking policy needs them
+    stats: Optional[PeerStats] = None
 
     def staleness(self, now: float) -> float:
         return max(0.0, now - self.timestamp)
 
 
 class ResourceView:
-    """Belief store with freshness-aware candidate ranking.
+    """Belief store with freshness-aware, policy-ranked candidates.
 
     Parameters
     ----------
@@ -42,12 +58,29 @@ class ResourceView:
         Optional hard expiry in seconds; entries older than this are
         ignored by :meth:`candidates`.  ``None`` (paper behaviour) keeps
         beliefs until overwritten.
+    policy:
+        The :class:`~repro.protocols.ranking.RankingPolicy` ordering
+        candidates.  ``None`` selects the default ``headroom`` policy
+        (the paper's ranking, bit-identical to pre-seam behaviour).
     """
 
-    def __init__(self, owner: int, ttl: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        owner: int,
+        ttl: Optional[float] = None,
+        policy: Optional[RankingPolicy] = None,
+    ) -> None:
         self.owner = owner
         self.ttl = ttl
+        self.policy = policy if policy is not None else make_ranking("headroom")
+        #: observation side-table maintenance is gated on the policy so
+        #: the default headroom path allocates nothing new
+        self.track_stats = self.policy.needs_stats
         self._entries: Dict[int, ViewEntry] = {}
+        #: per-peer observations; keyed by node id and deliberately kept
+        #: across forget/evict — reliability history outlives any one
+        #: belief snapshot
+        self._stats: Dict[int, PeerStats] = {}
         self.updates = 0
         self.evictions = 0
 
@@ -67,8 +100,38 @@ class ResourceView:
         cur = self._entries.get(node)
         if cur is not None and cur.timestamp > timestamp:
             return
-        self._entries[node] = ViewEntry(node, availability, usage, available, timestamp)
+        entry = ViewEntry(node, availability, usage, available, timestamp)
+        if self.track_stats:
+            stats = self._stats_for(node)
+            stats.observe_usage(usage)
+            entry.stats = stats
+        self._entries[node] = entry
         self.updates += 1
+
+    def observe_latency(self, node: int, rtt: float) -> None:
+        """Record one pledge round-trip latency (no-op unless tracked)."""
+        if not self.track_stats or node == self.owner:
+            return
+        self._stats_for(node).observe_latency(rtt)
+
+    def observe_outcome(self, node: int, reason: str) -> None:
+        """Record one admission outcome — an ``AdmissionControl.last_reason``
+        value (``granted``/``refused``/``timeout``/``unreachable``).
+        No-op unless the active policy tracks stats."""
+        if not self.track_stats or node == self.owner:
+            return
+        self._stats_for(node).observe_outcome(reason)
+
+    def _stats_for(self, node: int) -> PeerStats:
+        stats = self._stats.get(node)
+        if stats is None:
+            stats = PeerStats(node)
+            self._stats[node] = stats
+        return stats
+
+    def stats_for(self, node: int) -> Optional[PeerStats]:
+        """The accumulated observations for ``node`` (read-only use)."""
+        return self._stats.get(node)
 
     def forget(self, node: int) -> None:
         self._entries.pop(node, None)
@@ -124,9 +187,11 @@ class ResourceView:
     ) -> List[ViewEntry]:
         """Ranked candidate hosts for a migration.
 
-        Ranking: believed-available first, then most headroom, then
-        freshest, then lowest node id (determinism).  ``min_availability``
-        filters out nodes believed unable to fit the task.
+        Filtering is fixed — believed-available entries with at least
+        ``min_availability`` headroom, excluding ``exclude`` and the
+        owner — but the *ordering* belongs to the active ranking policy.
+        The default ``headroom`` policy ranks most-headroom first, then
+        freshest, then lowest node id (determinism).
         """
         banned = set(exclude)
         banned.add(self.owner)
@@ -138,7 +203,7 @@ class ResourceView:
             and e.available
             and e.availability >= min_availability
         ]
-        pool.sort(key=lambda e: (-e.availability, -e.timestamp, e.node))
+        pool = self.policy.order(pool, now, self._stats)
         if limit is not None:
             pool = pool[:limit]
         return pool

@@ -6,6 +6,13 @@ fresh hosts join the overlay and must be discovered purely through the
 protocol (no global restart).  :class:`ChurnSchedule` scripts node
 additions/removals against a running system; the runner wires the
 callbacks that actually build the per-node component stack.
+
+:class:`ChurnConfig` is the declarative knob on
+:class:`~repro.experiments.config.ExperimentConfig`: when set, the
+runner generates a :func:`poisson_churn` schedule from the kernel's
+named ``"churn"`` RNG substream — seeded purely by ``(root seed,
+"churn")`` — so the same seed yields the identical schedule serial vs
+parallel, scalar vs batched, process to process.
 """
 
 from __future__ import annotations
@@ -17,7 +24,34 @@ import numpy as np
 
 from ..sim.kernel import Simulator
 
-__all__ = ["ChurnEvent", "ChurnSchedule", "poisson_churn"]
+__all__ = ["ChurnConfig", "ChurnEvent", "ChurnSchedule", "poisson_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Declarative continuous-churn axis for an experiment.
+
+    ``join_rate``/``leave_rate`` are Poisson intensities in events per
+    second over the whole system.  ``graceful`` controls how leavers
+    exit: ``True`` routes through compromise-then-crash (components
+    evacuate first — the paper's survivability path), ``False`` crashes
+    outright.
+    """
+
+    join_rate: float = 0.0
+    leave_rate: float = 0.0
+    attach_degree: int = 2
+    graceful: bool = True
+
+    def __post_init__(self) -> None:
+        if self.join_rate < 0 or self.leave_rate < 0:
+            raise ValueError("churn rates must be >= 0")
+        if self.attach_degree < 1:
+            raise ValueError("attach_degree must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        return self.join_rate > 0 or self.leave_rate > 0
 
 
 @dataclass(frozen=True)

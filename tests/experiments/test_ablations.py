@@ -121,3 +121,20 @@ class TestLatencySensitivity:
 
         r = ablate_latency(latencies=(0.0,), horizon=100.0)
         assert "latency" in r.table
+
+
+class TestRankingAblation:
+    def test_headroom_vs_composite_grid(self):
+        from repro.experiments.ablations import ablate_ranking
+
+        r = ablate_ranking(
+            policies=("headroom", "composite"), horizon=400.0,
+            arrival_rate=9.0, churn_rate=0.02,
+        )
+        assert set(r.raw) == {"headroom", "composite"}
+        assert "misrank" in r.table and "fb-depth" in r.table
+        for policy, res in r.raw.items():
+            assert res.params["ranking"] == policy
+            # heterogeneous fleet + churn actually ran in every cell
+            assert res.extra["fleet_speed_cv"] > 0.0
+            assert res.extra["churn_scheduled"] > 0

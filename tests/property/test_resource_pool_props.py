@@ -1,0 +1,109 @@
+"""Property tests: resource-pool accounting invariants.
+
+The pool is the admission side-constraint for the multi-resource
+experiments (footnote 3), so its accounting must be exact under any
+allocate/release interleaving: consumable usage never negative and never
+above capacity, LEVEL resources never consumed, and a refused allocation
+(:class:`InsufficientResources`) leaving the pool byte-identical.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.node.resources import (
+    InsufficientResources,
+    ResourceKind,
+    ResourcePool,
+    ResourceSpec,
+)
+
+amounts = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+#: one step of the interleaving: (op, cpu amount, bandwidth amount)
+steps = st.lists(
+    st.tuples(st.sampled_from(["alloc", "release"]), amounts, amounts),
+    max_size=60,
+)
+
+
+def _pool() -> ResourcePool:
+    pool = ResourcePool.of(cpu=100.0, bandwidth=40.0)
+    pool.declare(ResourceSpec("security", 2.0, ResourceKind.LEVEL))
+    return pool
+
+
+class TestResourcePoolProperties:
+    @given(steps)
+    @settings(max_examples=80, deadline=None)
+    def test_usage_bounded_and_level_untouched(self, ops):
+        """Replay any interleaving: 0 <= used <= capacity, LEVEL constant."""
+        pool = _pool()
+        outstanding = []  # demands successfully allocated, not yet released
+        for op, cpu, bw in ops:
+            demand = {"cpu": cpu, "bandwidth": bw, "security": 1.0}
+            if op == "alloc":
+                try:
+                    pool.allocate(demand)
+                    outstanding.append(demand)
+                except InsufficientResources:
+                    pass
+            elif outstanding:
+                pool.release(outstanding.pop())
+            for name in ("cpu", "bandwidth"):
+                assert -1e-9 <= pool.used(name)
+                assert pool.used(name) <= pool.capacity(name) + 1e-9
+            # a LEVEL resource is a property, not a stock: allocations
+            # demanding it must never consume it
+            assert pool.available("security") == 2.0
+            assert pool.used("security") == 0.0
+
+    @given(steps)
+    @settings(max_examples=80, deadline=None)
+    def test_full_release_restores_empty_pool(self, ops):
+        """Releasing everything allocated returns usage to exactly zero."""
+        pool = _pool()
+        outstanding = []
+        for op, cpu, bw in ops:
+            if op == "alloc":
+                demand = {"cpu": cpu, "bandwidth": bw}
+                try:
+                    pool.allocate(demand)
+                    outstanding.append(demand)
+                except InsufficientResources:
+                    pass
+        for demand in outstanding:
+            pool.release(demand)
+        assert pool.used("cpu") == pytest.approx(0.0, abs=1e-7)
+        assert pool.used("bandwidth") == pytest.approx(0.0, abs=1e-7)
+
+    @given(amounts, amounts)
+    @settings(max_examples=80, deadline=None)
+    def test_refused_allocation_leaves_pool_unchanged(self, cpu, bw):
+        """InsufficientResources must be side-effect free — even when one
+        axis of the demand fits and the other does not."""
+        pool = _pool()
+        pool.allocate({"cpu": 60.0, "bandwidth": 10.0})
+        before = (
+            dict(pool.availability_vector()),
+            {n: pool.used(n) for n in ("cpu", "bandwidth")},
+        )
+        # bandwidth axis is oversubscribed; cpu may or may not fit
+        demand = {"cpu": cpu, "bandwidth": bw + 31.0, "security": 1.0}
+        with pytest.raises(InsufficientResources):
+            pool.allocate(demand)
+        after = (
+            dict(pool.availability_vector()),
+            {n: pool.used(n) for n in ("cpu", "bandwidth")},
+        )
+        assert after == before
+
+    @given(amounts)
+    @settings(max_examples=40, deadline=None)
+    def test_undeclared_demand_never_fits(self, amount):
+        pool = _pool()
+        assert not pool.fits({"gpu": amount})
+        with pytest.raises(InsufficientResources):
+            pool.allocate({"gpu": amount})
+        assert pool.used("cpu") == 0.0

@@ -1,0 +1,168 @@
+"""Unit tests for the pluggable candidate-ranking seam."""
+
+import pytest
+
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.ranking import (
+    CompositePolicy,
+    HeadroomPolicy,
+    PeerStats,
+    make_ranking,
+    ranking_names,
+)
+from repro.protocols.view import ResourceView
+
+
+def _view(policy_name="headroom", owner=0):
+    return ResourceView(owner, policy=make_ranking(policy_name))
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert ranking_names() == [
+            "composite", "headroom", "latency", "reliability",
+        ]
+
+    def test_make_returns_fresh_instances(self):
+        a, b = make_ranking("headroom"), make_ranking("headroom")
+        assert isinstance(a, HeadroomPolicy)
+        assert a is not b
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="composite"):
+            make_ranking("best-effortish")
+
+    def test_protocol_config_validates_policy(self):
+        with pytest.raises(ValueError, match="ranking"):
+            ProtocolConfig(ranking_policy="nope")
+
+    def test_only_headroom_skips_stats(self):
+        assert not make_ranking("headroom").needs_stats
+        for name in ("latency", "reliability", "composite"):
+            assert make_ranking(name).needs_stats, name
+
+
+class TestPeerStats:
+    def test_latency_ewma_starts_at_first_sample(self):
+        st = PeerStats(7)
+        assert not st.has_latency
+        st.observe_latency(2.0)
+        assert st.latency_ewma == 2.0
+        st.observe_latency(4.0)
+        assert 2.0 < st.latency_ewma < 4.0
+
+    def test_negative_rtt_clamped(self):
+        st = PeerStats(7)
+        st.observe_latency(-1.0)
+        assert st.latency_ewma == 0.0
+
+    def test_reliability_prior_and_update(self):
+        st = PeerStats(7)
+        assert st.reliability == 0.5
+        st.observe_outcome("granted")
+        assert st.reliability > 0.5
+        st.observe_outcome("refused")
+        st.observe_outcome("timeout")
+        st.observe_outcome("unreachable")  # counts as a timeout
+        assert st.grants == 1 and st.refusals == 1 and st.timeouts == 2
+        assert st.reliability < 0.5
+
+    def test_usage_trend_tracks_direction(self):
+        rising, falling = PeerStats(1), PeerStats(2)
+        for i in range(5):
+            rising.observe_usage(0.1 * i)
+            falling.observe_usage(0.5 - 0.1 * i)
+        assert rising.usage_trend > 0.0
+        assert falling.usage_trend < 0.0
+
+
+class TestTieBreakDeterminism:
+    """Pin the total-order contract: equal scores resolve by node id."""
+
+    def test_headroom_equal_entries_order_by_node_id(self):
+        view = _view("headroom")
+        # insert in a scrambled order with identical headroom/timestamp
+        for node in (9, 3, 12, 1, 7):
+            view.update(node, availability=40.0, usage=0.5,
+                        available=True, timestamp=10.0)
+        ranked = [e.node for e in view.candidates(now=10.0)]
+        assert ranked == [1, 3, 7, 9, 12]
+
+    def test_headroom_orders_availability_then_freshness_then_id(self):
+        view = _view("headroom")
+        view.update(5, 30.0, 0.5, True, 10.0)
+        view.update(2, 40.0, 0.5, True, 5.0)   # more headroom wins
+        view.update(8, 30.0, 0.5, True, 12.0)  # fresher than node 5
+        assert [e.node for e in view.candidates(now=12.0)] == [2, 8, 5]
+
+    @pytest.mark.parametrize("name", ["latency", "reliability", "composite"])
+    def test_every_policy_breaks_full_ties_by_node_id(self, name):
+        view = _view(name)
+        for node in (6, 2, 11, 4):
+            view.update(node, availability=25.0, usage=0.4,
+                        available=True, timestamp=8.0)
+        ranked = [e.node for e in view.candidates(now=8.0)]
+        assert ranked == [2, 4, 6, 11]
+
+
+class TestLatencyPolicy:
+    def test_observed_fast_peer_first_unobserved_last(self):
+        view = _view("latency")
+        for node in (1, 2, 3):
+            view.update(node, 30.0, 0.5, True, 10.0)
+        view.observe_latency(3, 0.5)
+        view.observe_latency(1, 2.0)
+        # node 2 never pledged: unknown latency ranks after observed peers
+        assert [e.node for e in view.candidates(now=10.0)] == [3, 1, 2]
+
+
+class TestReliabilityPolicy:
+    def test_refusing_peer_sinks_below_unknowns(self):
+        view = _view("reliability")
+        for node in (1, 2, 3):
+            view.update(node, 30.0, 0.5, True, 10.0)
+        view.observe_outcome(1, "granted")
+        view.observe_outcome(3, "refused")
+        view.observe_outcome(3, "timeout")
+        assert [e.node for e in view.candidates(now=10.0)] == [1, 2, 3]
+
+    def test_stats_survive_forget(self):
+        view = _view("reliability")
+        view.update(4, 30.0, 0.5, True, 10.0)
+        view.observe_outcome(4, "refused")
+        view.forget(4)
+        view.update(4, 30.0, 0.5, True, 11.0)
+        assert view.stats_for(4).refusals == 1
+
+
+class TestCompositePolicy:
+    def test_headroom_dominates_without_observations(self):
+        view = _view("composite")
+        view.update(1, 10.0, 0.8, True, 10.0)
+        view.update(2, 50.0, 0.2, True, 10.0)
+        assert [e.node for e in view.candidates(now=10.0)] == [2, 1]
+
+    def test_unreliable_peer_loses_despite_headroom(self):
+        view = _view("composite")
+        view.update(1, 45.0, 0.2, True, 10.0)
+        view.update(2, 50.0, 0.2, True, 10.0)
+        for _ in range(6):
+            view.observe_outcome(2, "timeout")
+        assert [e.node for e in view.candidates(now=10.0)] == [1, 2]
+
+    def test_scores_are_finite_and_bounded(self):
+        policy = CompositePolicy()
+        view = ResourceView(0, policy=policy)
+        view.update(1, 0.0, 1.0, True, 0.0)
+        # zero-headroom pool: normalisation must not divide by zero
+        assert [e.node for e in view.candidates(now=1000.0)] == [1]
+
+
+class TestDefaultPathAllocationFree:
+    def test_headroom_view_keeps_side_table_empty(self):
+        view = _view("headroom")
+        view.update(1, 30.0, 0.5, True, 10.0)
+        view.observe_latency(1, 0.5)
+        view.observe_outcome(1, "granted")
+        assert view.stats_for(1) is None
+        assert view.get(1).stats is None
